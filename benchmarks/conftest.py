@@ -1,0 +1,56 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+it.  Training runs take seconds-to-minutes, so every benchmark uses
+``benchmark.pedantic(..., rounds=1, iterations=1)`` — the timing
+recorded is the single end-to-end regeneration.
+
+Scale with ``REPRO_BENCH_SCALE``: smoke | default | full (see
+``repro.experiments.runner``).
+"""
+
+import os
+import sys
+
+import pytest
+
+# Tables are written three ways so they survive pytest's stdout capture:
+# to the real stdout (so `pytest ... | tee bench_output.txt` records them
+# live), to the captured stdout (shown on failures), and appended to
+# benchmarks_report.txt next to this file's repo root.
+_REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                            "benchmarks_report.txt")
+
+
+@pytest.fixture(scope="session")
+def bench_scale_name():
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def print_table(title: str, rows, columns):
+    """Uniform table printer used by all benchmark reports."""
+    lines = [f"\n=== {title} ==="]
+    header = " | ".join(f"{c:>12}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            cells.append(f"{value:>12.2f}" if isinstance(value, float) else f"{value!s:>12}")
+        lines.append(" | ".join(cells))
+    text = "\n".join(lines)
+    print(text)
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+    with open(_REPORT_PATH, "a") as handle:
+        handle.write(text + "\n")
+
+
+def report(message: str) -> None:
+    """Capture-proof single-line report (deviations, notes)."""
+    print(message)
+    sys.__stdout__.write(message + "\n")
+    sys.__stdout__.flush()
+    with open(_REPORT_PATH, "a") as handle:
+        handle.write(message + "\n")

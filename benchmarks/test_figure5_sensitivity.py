@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 5 (sensitivity analyses)."""
+
+from repro.experiments.figure5 import (
+    GRANULARITY_LEVELS,
+    LAYER_COUNTS,
+    figure5a_granularity_sensitivity,
+    figure5b_layer_sensitivity,
+)
+
+from repro.experiments.ascii_plot import series_figure
+
+from benchmarks.conftest import print_table, report
+
+
+def test_figure5a_granularity(benchmark):
+    rows = benchmark.pedantic(figure5a_granularity_sensitivity, rounds=1, iterations=1)
+    print_table(
+        "Figure 5(a): granularity level sensitivity (icews14s_small)",
+        rows,
+        columns=("granularity", "mrr", "hits@1", "hits@3", "hits@10"),
+    )
+    report(series_figure("fig5a MRR vs granularity", rows, "granularity"))
+    assert len(rows) == len(GRANULARITY_LEVELS)
+    # paper claim: robust across levels — max-min spread is bounded
+    mrrs = [row["mrr"] for row in rows]
+    assert max(mrrs) - min(mrrs) < 20.0, "granularity sensitivity far exceeds the paper's robustness claim"
+
+
+def test_figure5b_layers(benchmark):
+    rows = benchmark.pedantic(figure5b_layer_sensitivity, rounds=1, iterations=1)
+    print_table(
+        "Figure 5(b): GNN hidden layer sensitivity (icews14s_small)",
+        rows,
+        columns=("num_layers", "mrr", "hits@1", "hits@3", "hits@10"),
+    )
+    report(series_figure("fig5b MRR vs GNN layers", rows, "num_layers"))
+    assert len(rows) == len(LAYER_COUNTS)
+    assert all(row["mrr"] > 0 for row in rows)

@@ -1,0 +1,75 @@
+"""Extension benchmark: per-mechanism capability profiles.
+
+Decomposes test MRR by the generator mechanism owning each query pair,
+for a vocabulary model (CyGNet) vs. HisRES.  This is the measurement
+behind EXPERIMENTS.md's shape discussion: masks own plain repetition,
+recency-structural encoders own hot-set and drift queries.
+"""
+
+from repro.analysis import per_mechanism_metrics
+from repro.baselines import MODEL_REGISTRY, build_model
+from repro.core import HisRES, HisRESConfig
+from repro.core.window import WindowBuilder
+from repro.data import generate_dataset, get_profile
+from repro.experiments.runner import get_scale
+from repro.training import Trainer
+
+from benchmarks.conftest import print_table
+
+DATASET = "icews14s_small"
+
+
+def _profile_for(key: str):
+    scale = get_scale()
+    profile = get_profile(DATASET)
+    dataset = generate_dataset(DATASET)
+    spec = MODEL_REGISTRY[key]
+    if key == "hisres":
+        model = HisRES(dataset.num_entities, dataset.num_relations,
+                       HisRESConfig(embedding_dim=scale.dim))
+        epochs = scale.hisres_epochs
+        use_global = True
+        history = 4
+    else:
+        model = build_model(key, dataset.num_entities, dataset.num_relations, dim=scale.dim)
+        epochs = scale.vocab_epochs if spec.requirements.vocabulary else scale.gnn_epochs
+        use_global = spec.requirements.global_graph
+        history = 2
+    trainer = Trainer(model, dataset, history_length=history, use_global=use_global,
+                      track_vocabulary=spec.requirements.vocabulary,
+                      learning_rate=0.01, seed=3)
+    trainer.fit(epochs=epochs, patience=scale.patience,
+                max_timestamps=scale.max_timestamps)
+    return per_mechanism_metrics(
+        model, dataset, profile, trainer.window_builder,
+        max_timestamps=scale.max_timestamps,
+    )
+
+
+def test_mechanism_capability_profiles(benchmark):
+    def run():
+        rows = []
+        for key in ("cygnet", "hisres"):
+            decomposition = _profile_for(key)
+            for mechanism, metrics in decomposition.items():
+                rows.append({
+                    "model": MODEL_REGISTRY[key].name,
+                    "mechanism": mechanism,
+                    "mrr": metrics["mrr"] * 100,
+                    "hits@1": metrics["hits@1"] * 100,
+                    "n": metrics["n"],
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: per-mechanism capability profile (icews14s_small)",
+        rows,
+        columns=("model", "mechanism", "mrr", "hits@1", "n"),
+    )
+    assert rows
+    total_queries = {r["model"]: 0 for r in rows}
+    for row in rows:
+        total_queries[row["model"]] += row["n"]
+    counts = set(total_queries.values())
+    assert len(counts) == 1, "both models must see the same query set"

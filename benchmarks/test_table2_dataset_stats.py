@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 2 (dataset statistics)."""
+
+from repro.experiments.table2 import (
+    TABLE2_DATASETS,
+    check_table2_shape,
+    table2_dataset_statistics,
+)
+
+from benchmarks.conftest import print_table
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(table2_dataset_statistics, rounds=1, iterations=1)
+    print_table(
+        "Table 2: dataset statistics (synthetic profiles)",
+        rows,
+        columns=(
+            "dataset",
+            "entities",
+            "relations",
+            "training_facts",
+            "validation_facts",
+            "testing_facts",
+            "timestamps",
+            "time_granularity",
+            "repetition_ratio",
+        ),
+    )
+    assert len(rows) == len(TABLE2_DATASETS)
+    problems = check_table2_shape(rows)
+    assert not problems, problems

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 4 (ablation studies)."""
+
+import pytest
+
+from repro.experiments.table4 import (
+    ABLATION_VARIANTS,
+    PAPER_TABLE4,
+    TABLE4_DATASETS,
+    check_table4_shape,
+    table4_ablations,
+)
+
+from benchmarks.conftest import print_table, report
+
+
+@pytest.mark.parametrize("dataset_name", TABLE4_DATASETS)
+def test_table4_ablations(benchmark, dataset_name):
+    rows = benchmark.pedantic(
+        table4_ablations,
+        kwargs={"datasets": [dataset_name]},
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        row["paper_mrr"] = PAPER_TABLE4[dataset_name].get(row["model"])
+    print_table(
+        f"Table 4 ablations ({dataset_name})",
+        rows,
+        columns=("model", "mrr", "hits@1", "hits@3", "hits@10", "paper_mrr"),
+    )
+    assert len(rows) == len(ABLATION_VARIANTS)
+    problems = check_table4_shape(rows)
+    if problems:
+        report(f"SHAPE DEVIATIONS: {problems}")
+    # hard invariant: every variant trains to a sane score
+    assert all(row["mrr"] > 0 for row in rows)

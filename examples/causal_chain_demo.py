@@ -1,0 +1,74 @@
+"""Figure 1 demo: two-hop inter-snapshot causal links.
+
+The paper's Figure 1 motivates the multi-granularity encoder with a
+chain like (Barack_Obama, Consult, North_America) @ t-1 causing
+(North_America, Host_a_visit, Business) @ t.  This script builds a
+dataset dominated by such chains, shows the planted rules, and compares
+HisRES with and without the inter-snapshot granularity (the w/o-MG
+ablation) on effect-query accuracy.
+
+Run:  python examples/causal_chain_demo.py
+"""
+
+import numpy as np
+
+from repro.core import HisRES, HisRESConfig
+from repro.data.profiles import DatasetProfile
+from repro.data.synthetic import SyntheticTKGGenerator
+from repro.training import Trainer
+
+
+def build_causal_dataset():
+    profile = DatasetProfile(
+        name="causal_demo",
+        num_entities=40,
+        num_relations=6,
+        num_timestamps=48,
+        facts_per_snapshot=12,
+        time_granularity="1 step",
+        recurrent_share=0.0,
+        periodic_share=0.0,
+        drifting_share=0.0,
+        hot_share=0.0,
+        causal_share=0.9,
+        noise_share=0.1,
+        causal_trigger_rate=0.45,
+        seed=17,
+    )
+    generator = SyntheticTKGGenerator(profile)
+    # twin generator replicates the build order to expose the rules
+    twin = SyntheticTKGGenerator(profile)
+    twin._build_cyclic_templates()
+    twin._build_periodic_templates()
+    twin._build_drifting_templates()
+    rules = twin._build_causal_rules()
+    return generator.generate(), rules
+
+
+def main():
+    dataset, rules = build_causal_dataset()
+    print(f"dataset: {dataset}")
+    print(f"planted causal rules ({len(rules)}):")
+    for rule in rules[:5]:
+        pool = ", ".join(f"e{s}" for s in rule.subjects)
+        print(f"  (s in [{pool}], r{rule.trigger_relation}, e{rule.mid}) @ t  "
+              f"=>  (e{rule.mid}, r{rule.effect_relation}, s) @ t+1")
+
+    for label, multi_granularity in [("HisRES (full)", True), ("HisRES-w/o-MG", False)]:
+        config = HisRESConfig(
+            embedding_dim=24,
+            history_length=3,
+            decoder_channels=4,
+            use_multi_granularity=multi_granularity,
+        )
+        model = HisRES(dataset.num_entities, dataset.num_relations, config)
+        trainer = Trainer(model, dataset, history_length=3,
+                          learning_rate=0.01, seed=2)
+        trainer.fit(epochs=10, patience=5)
+        test = trainer.evaluate("test")
+        print(f"\n{label}: test MRR={test.mrr:.3f} "
+              f"H@1={test.hits(1):.3f} H@3={test.hits(3):.3f}")
+
+
+if __name__ == "__main__":
+    main()

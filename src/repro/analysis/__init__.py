@@ -1,0 +1,14 @@
+"""Diagnostics: per-mechanism evaluation and prediction explanation."""
+
+from repro.analysis.mechanisms import MechanismTagger, per_mechanism_metrics
+from repro.analysis.explain import explain_prediction, gate_summary
+from repro.analysis.degradation import degradation_curve, history_dependence
+
+__all__ = [
+    "MechanismTagger",
+    "per_mechanism_metrics",
+    "explain_prediction",
+    "gate_summary",
+    "degradation_curve",
+    "history_dependence",
+]

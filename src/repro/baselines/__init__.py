@@ -1,0 +1,51 @@
+"""Baseline TKG reasoning models re-implemented on the repro substrate.
+
+Static KG baselines (Table 3, first block): DistMult, ComplEx, RotatE,
+ConvE, ConvTransE — these ignore time entirely.
+
+Temporal baselines (Table 3, second block): CyGNet, RE-NET, RE-GCN,
+CEN, TiRGN, CENET, LogCL — each keeps the mechanism that defines it in
+the paper's taxonomy (historical statistics vs. recent-snapshot
+evolution vs. local+global), simplified where the original used
+machinery orthogonal to that mechanism.  See each module's docstring
+for the exact simplifications.
+"""
+
+from repro.baselines.base import TKGBaseline, ModelRequirements
+from repro.baselines.static import DistMult, ComplEx, RotatE
+from repro.baselines.conve import ConvE, ConvTransEModel
+from repro.baselines.cygnet import CyGNet
+from repro.baselines.renet import RENet
+from repro.baselines.regcn import REGCN
+from repro.baselines.cen import CEN
+from repro.baselines.tirgn import TiRGN
+from repro.baselines.cenet import CENET
+from repro.baselines.logcl import LogCL
+from repro.baselines.xerte import XERTE
+from repro.baselines.retia import RETIA
+from repro.baselines.rpc import RPC
+from repro.baselines.hgls import HGLS
+from repro.baselines.registry import MODEL_REGISTRY, build_model
+
+__all__ = [
+    "TKGBaseline",
+    "ModelRequirements",
+    "DistMult",
+    "ComplEx",
+    "RotatE",
+    "ConvE",
+    "ConvTransEModel",
+    "CyGNet",
+    "RENet",
+    "REGCN",
+    "CEN",
+    "TiRGN",
+    "CENET",
+    "LogCL",
+    "XERTE",
+    "RETIA",
+    "RPC",
+    "HGLS",
+    "MODEL_REGISTRY",
+    "build_model",
+]

@@ -1,0 +1,59 @@
+"""Shared interface for every model the harness can train/evaluate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import cross_entropy
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.core.window import HistoryWindow
+
+
+@dataclass(frozen=True)
+class ModelRequirements:
+    """What a model needs the window builder to assemble."""
+
+    recent_snapshots: bool = False
+    global_graph: bool = False
+    vocabulary: bool = False
+
+
+class TKGBaseline(Module):
+    """Base class: entity scoring + optional relation scoring.
+
+    Subclasses implement :meth:`score_entities` returning logits over
+    all entities; the default :meth:`loss` is cross-entropy on the
+    target objects (inverse queries included by the harness).
+    """
+
+    requirements = ModelRequirements()
+
+    def __init__(self, num_entities: int, num_relations: int):
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations  # base count; doubled ids used
+
+    # ------------------------------------------------------------------
+    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        logits = self.score_entities(window, queries)
+        return cross_entropy(logits, queries[:, 2])
+
+    def predict_entities(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        with no_grad():
+            was_training = self.training
+            self.eval()
+            scores = self.score_entities(window, queries).data
+            if was_training:
+                self.train()
+        return scores
+
+    def forward(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        return self.score_entities(window, queries)

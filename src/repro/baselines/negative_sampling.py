@@ -1,0 +1,70 @@
+"""Margin-based training with negative sampling.
+
+The translational static models (TransE lineage: RotatE here) were
+originally trained with margin ranking against corrupted triples
+rather than full-softmax cross-entropy.  This module provides that
+objective for any model exposing ``score_entities``; the Trainer can
+use it by wrapping the model's ``loss``::
+
+    model.loss = lambda window, queries: margin_loss(
+        model, window, queries, num_negatives=4, rng=rng)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import margin_ranking_loss
+from repro.nn.tensor import Tensor
+from repro.core.window import HistoryWindow
+
+
+def corrupt_objects(
+    queries: np.ndarray,
+    num_entities: int,
+    num_negatives: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample corrupted object ids, avoiding the true object.
+
+    Returns (n, num_negatives) entity ids; each differs from its row's
+    true object (uniform resampling with rejection in expectation).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    queries = np.asarray(queries, dtype=np.int64)
+    n = len(queries)
+    negatives = rng.integers(0, num_entities, size=(n, num_negatives))
+    collisions = negatives == queries[:, 2:3]
+    while collisions.any():
+        negatives[collisions] = rng.integers(0, num_entities, size=int(collisions.sum()))
+        collisions = negatives == queries[:, 2:3]
+    return negatives
+
+
+def margin_loss(
+    model,
+    window: HistoryWindow,
+    queries: np.ndarray,
+    num_negatives: int = 4,
+    margin: float = 2.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Margin ranking loss over sampled negatives.
+
+    Uses the model's full ``score_entities`` matrix and gathers the
+    positive and negative columns — simple and exact, affordable at
+    this reproduction's entity counts.
+    """
+    queries = np.asarray(queries, dtype=np.int64)
+    scores = model.score_entities(window, queries)  # (n, |E|)
+    n = len(queries)
+    positives = scores[np.arange(n), queries[:, 2]]
+    negatives_idx = corrupt_objects(queries, model.num_entities, num_negatives, rng=rng)
+    total = None
+    for j in range(num_negatives):
+        negatives = scores[np.arange(n), negatives_idx[:, j]]
+        term = margin_ranking_loss(positives, negatives, margin=margin)
+        total = term if total is None else total + term
+    return total * (1.0 / num_negatives)

@@ -1,0 +1,109 @@
+"""xERTE (Han et al., ICLR 2021): explainable subgraph reasoning.
+
+Mechanism kept: per-query **temporal subgraph expansion** — starting
+from the query subject, candidate answers are scored by walking edges
+of the recent history with attention that decays in time, so every
+prediction is grounded in an explicit evidence subgraph (the original's
+explainability claim).  Simplifications: two expansion hops over the
+window's snapshot graphs; attention is a learned bilinear score with an
+exponential time-decay prior, rather than the original's iteratively
+pruned attention flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn import Embedding, Linear, Parameter, init
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.baselines.base import ModelRequirements, TKGBaseline
+from repro.core.window import HistoryWindow
+
+
+class XERTE(TKGBaseline):
+    """Query-rooted temporal subgraph walker with time-decayed attention."""
+
+    requirements = ModelRequirements(recent_snapshots=True)
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 32,
+        hops: int = 2,
+        decay: float = 0.5,
+        dropout: float = 0.1,
+    ):
+        super().__init__(num_entities, num_relations)
+        self.dim = dim
+        self.hops = hops
+        self.decay = decay
+        self.entity = Embedding(num_entities, dim)
+        self.relation = Embedding(2 * num_relations, dim)
+        self.edge_score = Linear(3 * dim, 1, bias=False)
+        self.query_proj = Linear(2 * dim, dim)
+        self.fallback_scale = Parameter(init.ones((1,)))
+
+    # ------------------------------------------------------------------
+    def _walk_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        """Propagate per-query attention mass along recent edges.
+
+        Returns a (n, |E|) non-negative evidence matrix: how much
+        time-decayed, relation-compatible attention flowed from each
+        query's subject to each candidate entity.
+        """
+        n = len(queries)
+        mass = np.zeros((n, self.num_entities))
+        mass[np.arange(n), queries[:, 0]] = 1.0
+
+        # Pre-score every edge in the window once per query relation.
+        rel_emb = self.relation.all()
+        ent_emb = self.entity.all()
+        evidence = np.zeros((n, self.num_entities))
+        for age, graph in enumerate(reversed(window.snapshots)):
+            if graph.num_edges == 0:
+                continue
+            time_prior = self.decay**age
+            subj = ent_emb.index_select(graph.src)
+            rel = rel_emb.index_select(graph.rel)
+            obj = ent_emb.index_select(graph.dst)
+            from repro.nn.tensor import concat
+
+            compat = self.edge_score(concat([subj, rel, obj], axis=1)).data.reshape(-1)
+            compat = np.exp(np.clip(compat, -10, 10)) * time_prior
+            current = mass
+            for _ in range(self.hops):
+                flowed = np.zeros_like(current)
+                contrib = current[:, graph.src] * compat[None, :]
+                np.add.at(flowed.T, graph.dst, contrib.T)
+                evidence += flowed
+                current = flowed / (flowed.sum(axis=1, keepdims=True) + 1e-9)
+        return evidence
+
+    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        s = self.entity(queries[:, 0])
+        r = self.relation(queries[:, 1])
+        from repro.nn.tensor import concat
+
+        query_vec = F.tanh(self.query_proj(concat([s, r], axis=1)))
+        semantic = query_vec @ self.entity.all().T
+        evidence = self._walk_scores(window, queries)
+        # log-evidence bonus keeps the walk differentiable-free but the
+        # semantic term trainable; fallback_scale learns their balance
+        bonus = Tensor(np.log1p(evidence))
+        return semantic + bonus * self.fallback_scale
+
+    def explain(self, window: HistoryWindow, query: np.ndarray, top_k: int = 5) -> List[Dict]:
+        """Evidence entities behind one query's prediction (by walk mass)."""
+        query = np.asarray(query, dtype=np.int64).reshape(1, -1)
+        evidence = self._walk_scores(window, query)[0]
+        order = np.argsort(evidence)[::-1][:top_k]
+        return [
+            {"entity": int(e), "evidence_mass": float(evidence[e])}
+            for e in order
+            if evidence[e] > 0
+        ]

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``generate``  — write a synthetic dataset profile to TSV;
+- ``stats``     — Table 2-style statistics of a profile or TSV file;
+- ``train``     — train any registered model on a profile/TSV and
+  report time-filtered test metrics;
+- ``table2|table3|table4|figure5`` — regenerate a paper artifact;
+- ``mechanisms``— per-mechanism capability profile of a model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.baselines import MODEL_REGISTRY
+from repro.data import generate_dataset, get_profile, load_tsv, save_tsv
+
+
+def _load_dataset(args):
+    if args.dataset.endswith(".tsv"):
+        return load_tsv(args.dataset)
+    return generate_dataset(args.dataset)
+
+
+def cmd_generate(args) -> int:
+    dataset = generate_dataset(args.profile, seed=args.seed)
+    save_tsv(dataset, args.output)
+    print(f"wrote {len(dataset)} facts to {args.output}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    dataset = _load_dataset(args)
+    stats = dataset.statistics()
+    stats["repetition_ratio"] = round(dataset.repetition_ratio(), 3)
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.experiments.runner import RunConfig, run_model_on_dataset
+
+    dataset = _load_dataset(args)
+    config = RunConfig(
+        dim=args.dim,
+        history_length=args.history_length,
+        epochs=args.epochs,
+        patience=args.patience,
+        learning_rate=args.lr,
+        seed=args.seed,
+    )
+    row = run_model_on_dataset(args.model, dataset, config)
+    print(json.dumps(row, indent=2, default=float))
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro.experiments import (
+        table2_dataset_statistics,
+        table3_main_results,
+        table4_ablations,
+    )
+    from repro.experiments.runner import format_rows
+
+    if args.command == "table2":
+        rows = table2_dataset_statistics()
+        columns = ("dataset", "entities", "relations", "training_facts",
+                   "validation_facts", "testing_facts", "timestamps")
+    elif args.command == "table3":
+        rows = table3_main_results(datasets=args.datasets or None)
+        columns = ("model", "dataset", "mrr", "hits@1", "hits@3", "hits@10")
+    else:
+        rows = table4_ablations(datasets=args.datasets or None)
+        columns = ("model", "dataset", "mrr", "hits@1", "hits@3", "hits@10")
+    print(format_rows(rows, columns=columns))
+    return 0
+
+
+def cmd_figure5(args) -> int:
+    from repro.experiments import (
+        figure5a_granularity_sensitivity,
+        figure5b_layer_sensitivity,
+    )
+    from repro.experiments.runner import format_rows
+
+    if args.panel == "a":
+        rows = figure5a_granularity_sensitivity()
+        print(format_rows(rows, columns=("granularity", "mrr", "hits@1", "hits@10")))
+    else:
+        rows = figure5b_layer_sensitivity()
+        print(format_rows(rows, columns=("num_layers", "mrr", "hits@1", "hits@10")))
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    from repro.core import Forecaster
+    from repro.baselines import build_model
+    from repro.training import Trainer
+
+    dataset = _load_dataset(args)
+    spec = MODEL_REGISTRY[args.model]
+    model = build_model(args.model, dataset.num_entities, dataset.num_relations, dim=args.dim)
+    trainer = Trainer(
+        model, dataset, history_length=args.history_length,
+        use_global=spec.requirements.global_graph or args.model == "hisres",
+        track_vocabulary=spec.requirements.vocabulary,
+        learning_rate=args.lr, seed=args.seed,
+    )
+    trainer.fit(epochs=args.epochs, patience=args.patience)
+    forecaster = Forecaster(
+        model, dataset.num_entities, dataset.num_relations,
+        history_length=args.history_length,
+        use_global=spec.requirements.global_graph or args.model == "hisres",
+        track_vocabulary=spec.requirements.vocabulary,
+    )
+    forecaster.warm_up(dataset.train)
+    forecaster.warm_up(dataset.valid)
+    predictions = forecaster.predict(args.subject, args.relation, top_k=args.top_k)
+    print(json.dumps([p.__dict__ for p in predictions], indent=2))
+    return 0
+
+
+def cmd_degradation(args) -> int:
+    from repro.analysis import history_dependence
+    from repro.baselines import build_model
+    from repro.training import Trainer
+
+    dataset = _load_dataset(args)
+    spec = MODEL_REGISTRY[args.model]
+    model = build_model(args.model, dataset.num_entities, dataset.num_relations, dim=args.dim)
+    trainer = Trainer(
+        model, dataset, history_length=args.history_length,
+        use_global=spec.requirements.global_graph or args.model == "hisres",
+        track_vocabulary=spec.requirements.vocabulary,
+        learning_rate=args.lr, seed=args.seed,
+    )
+    trainer.fit(epochs=args.epochs, patience=args.patience)
+    summary = history_dependence(model, dataset, trainer.window_builder)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import (
+        markdown_table,
+        parse_report,
+        summarize_table3,
+        summarize_table4,
+    )
+
+    tables = parse_report(args.path)
+    t3 = summarize_table3(tables)
+    if t3:
+        print("## Table 3 (measured MRR x100)\n")
+        models = sorted({m for scores in t3.values() for m in scores})
+        rows = [
+            {"model": m, **{d: scores.get(m, "") for d, scores in t3.items()}}
+            for m in models
+        ]
+        print(markdown_table(rows, ["model"] + list(t3)))
+    t4 = summarize_table4(tables)
+    if t4:
+        print("\n## Table 4 (measured MRR x100)\n")
+        variants = sorted({m for scores in t4.values() for m in scores})
+        rows = [
+            {"variant": v, **{d: scores.get(v, "") for d, scores in t4.items()}}
+            for v in variants
+        ]
+        print(markdown_table(rows, ["variant"] + list(t4)))
+    return 0
+
+
+def cmd_mechanisms(args) -> int:
+    from repro.analysis import per_mechanism_metrics
+    from repro.baselines import build_model
+    from repro.core.window import WindowBuilder
+    from repro.training import Trainer
+
+    profile = get_profile(args.dataset)
+    dataset = generate_dataset(args.dataset)
+    spec = MODEL_REGISTRY[args.model]
+    model = build_model(args.model, dataset.num_entities, dataset.num_relations, dim=args.dim)
+    trainer = Trainer(
+        model,
+        dataset,
+        history_length=args.history_length,
+        use_global=spec.requirements.global_graph or args.model == "hisres",
+        track_vocabulary=spec.requirements.vocabulary,
+        learning_rate=args.lr,
+        seed=args.seed,
+    )
+    trainer.fit(epochs=args.epochs, patience=args.patience)
+    result = per_mechanism_metrics(model, dataset, profile, trainer.window_builder)
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic profile to TSV")
+    p.add_argument("profile")
+    p.add_argument("output")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="dataset statistics")
+    p.add_argument("dataset", help="profile name or .tsv path")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("train", help="train a registered model")
+    p.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("dataset", help="profile name or .tsv path")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--patience", type=int, default=8)
+    p.add_argument("--history-length", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=cmd_train)
+
+    for name in ("table2", "table3", "table4"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--datasets", nargs="*", default=None)
+        p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure5", help="regenerate figure 5")
+    p.add_argument("panel", choices=["a", "b"])
+    p.set_defaults(func=cmd_figure5)
+
+    p = sub.add_parser("mechanisms", help="per-mechanism capability profile")
+    p.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("dataset", help="profile name")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--patience", type=int, default=8)
+    p.add_argument("--history-length", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=cmd_mechanisms)
+
+    p = sub.add_parser("forecast", help="train, then rank objects for one query")
+    p.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("dataset", help="profile name or .tsv path")
+    p.add_argument("subject", type=int)
+    p.add_argument("relation", type=int)
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--patience", type=int, default=8)
+    p.add_argument("--history-length", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=cmd_forecast)
+
+    p = sub.add_parser("report", help="summarise a benchmarks_report.txt as markdown")
+    p.add_argument("path", nargs="?", default="benchmarks_report.txt")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("degradation", help="single-step vs frozen-history MRR")
+    p.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("dataset", help="profile name or .tsv path")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--patience", type=int, default=8)
+    p.add_argument("--history-length", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(func=cmd_degradation)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

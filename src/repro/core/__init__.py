@@ -1,0 +1,29 @@
+"""The HisRES model (paper §3) and its building blocks."""
+
+from repro.core.config import HisRESConfig
+from repro.core.time_encoding import TimeEncoding
+from repro.core.compgcn import CompGCNLayer, CompGCNStack
+from repro.core.convgat import ConvGATLayer
+from repro.core.rgat import RGATLayer
+from repro.core.gating import SelfGating
+from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.relevance import GlobalRelevanceEncoder
+from repro.core.decoder import ConvTransEDecoder
+from repro.core.hisres import HisRES
+from repro.core.forecaster import Forecaster, Prediction
+
+__all__ = [
+    "HisRESConfig",
+    "TimeEncoding",
+    "CompGCNLayer",
+    "CompGCNStack",
+    "ConvGATLayer",
+    "RGATLayer",
+    "SelfGating",
+    "MultiGranularityEvolutionaryEncoder",
+    "GlobalRelevanceEncoder",
+    "ConvTransEDecoder",
+    "HisRES",
+    "Forecaster",
+    "Prediction",
+]

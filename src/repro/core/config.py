@@ -1,0 +1,67 @@
+"""Configuration for HisRES, including every ablation switch of Table 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class HisRESConfig:
+    """Hyper-parameters and ablation switches.
+
+    Defaults mirror §4.1.3 of the paper where feasible; ``embedding_dim``
+    defaults lower than the paper's 200 because the reproduction runs on
+    CPU with small synthetic datasets.
+
+    Ablation switches (all True/None reproduces full HisRES):
+
+    - ``use_evolution`` — False gives HisRES-w/o-G (drop the
+      multi-granularity evolutionary encoder).
+    - ``use_global`` — False gives HisRES-w/o-G^H (drop the global
+      relevance encoder).
+    - ``use_multi_granularity`` — False gives HisRES-w/o-MG (drop the
+      inter-snapshot granularity; only intra-snapshot evolution).
+    - ``use_self_gating_local`` — False gives HisRES-w/o-SG1 (replace
+      Eq. 8 fusion with plain summation).
+    - ``use_self_gating_global`` — False gives HisRES-w/o-SG2 (replace
+      Eq. 13 fusion with plain summation).
+    - ``use_relation_updating`` — False gives HisRES-w/o-RU (skip Eq. 5).
+    - ``global_aggregator`` — "convgat" (paper), "compgcn"
+      (HisRES-w/-CompGCN) or "rgat" (HisRES-w/-RGAT).
+    """
+
+    embedding_dim: int = 32
+    history_length: int = 4
+    granularity: int = 2
+    num_layers: int = 2
+    dropout: float = 0.1
+    alpha: float = 0.7
+    learning_rate: float = 0.001
+    grad_clip: float = 1.0
+    decoder_channels: int = 8
+    decoder_kernel: int = 3
+    # global graph pruning (paper §5 future work; None = keep everything)
+    global_max_history: Optional[int] = None
+    # ablation switches
+    use_evolution: bool = True
+    use_global: bool = True
+    use_multi_granularity: bool = True
+    use_self_gating_local: bool = True
+    use_self_gating_global: bool = True
+    use_relation_updating: bool = True
+    use_time_encoding: bool = True
+    global_aggregator: str = "convgat"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.history_length < 1:
+            raise ValueError("history_length must be >= 1")
+        if self.granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.global_aggregator not in {"convgat", "compgcn", "rgat"}:
+            raise ValueError(f"unknown global aggregator {self.global_aggregator!r}")
+        if not self.use_evolution and not self.use_global:
+            raise ValueError("at least one encoder must be enabled")

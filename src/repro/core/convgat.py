@@ -1,0 +1,83 @@
+"""ConvGAT: the paper's convolution-based graph attention network
+(Eqs. 10-11), used by the global relevance encoder.
+
+Per edge ``(s, r, o)`` an attention logit is computed from the
+concatenated triple representation (Eq. 10)::
+
+    theta_{o,s} = softmax_over_N(o)( W_4 . LeakyReLU( W_5 [s || r || o] ) )
+
+and messages are aggregated with those weights (Eq. 11)::
+
+    o' = RReLU( sum theta * W_6 psi(s + r)  +  W_7 o )
+
+``psi`` is a 1-D convolution over the fused subject+relation embedding —
+the "Conv" in ConvGAT — which lets the layer mix neighbouring embedding
+dimensions before projection.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import Conv1d, Dropout, Linear, RReLU
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+from repro.graphs.snapshot import SnapshotGraph
+
+
+class ConvGATLayer(Module):
+    """One ConvGAT hop: attention (Eq. 10) + conv aggregation (Eq. 11)."""
+
+    def __init__(
+        self,
+        dim: int,
+        conv_channels: int = 2,
+        kernel_size: int = 3,
+        leaky_slope: float = 0.2,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.dim = dim
+        self.attn_hidden = Linear(3 * dim, 3 * dim)  # W_5
+        self.attn_out = Linear(3 * dim, 1, bias=False)  # W_4
+        self.leaky_slope = leaky_slope
+        # psi: 1-D convolution over the (s + r) embedding
+        self.conv = Conv1d(1, conv_channels, kernel_size, padding=kernel_size // 2)
+        self.message_proj = Linear(conv_channels * dim, dim, bias=False)  # W_6
+        self.self_proj = Linear(dim, dim, bias=False)  # W_7
+        self.activation = RReLU()
+        self.dropout = Dropout(dropout)
+
+    def edge_attention(
+        self, entity_emb: Tensor, relation_emb: Tensor, graph: SnapshotGraph
+    ) -> Tensor:
+        """Eq. (10): per-edge weights normalised over each object's
+        incoming neighbourhood."""
+        subj = entity_emb.index_select(graph.src)
+        rel = relation_emb.index_select(graph.rel)
+        obj = entity_emb.index_select(graph.dst)
+        triple = concat([subj, rel, obj], axis=1)
+        hidden = F.leaky_relu(self.attn_hidden(triple), self.leaky_slope)
+        logits = self.attn_out(hidden).reshape(graph.num_edges)
+        return F.segment_softmax(logits, graph.dst, graph.num_entities)
+
+    def forward(
+        self, entity_emb: Tensor, relation_emb: Tensor, graph: SnapshotGraph
+    ) -> Tuple[Tensor, Tensor]:
+        """Aggregate one hop; relations are *not* updated (paper §3.4.2)."""
+        if graph.num_edges == 0:
+            out = self.activation(self.self_proj(entity_emb))
+            return self.dropout(out), relation_emb
+
+        weights = self.edge_attention(entity_emb, relation_emb, graph)
+        subj = entity_emb.index_select(graph.src)
+        rel = relation_emb.index_select(graph.rel)
+        fused = (subj + rel).reshape(graph.num_edges, 1, self.dim)
+        convolved = self.conv(fused).reshape(graph.num_edges, -1)
+        messages = self.message_proj(convolved) * weights.reshape(-1, 1)
+        aggregated = Tensor(np.zeros(entity_emb.shape)).scatter_add(graph.dst, messages)
+        out = self.activation(aggregated + self.self_proj(entity_emb))
+        return self.dropout(out), relation_emb

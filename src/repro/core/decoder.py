@@ -1,0 +1,63 @@
+"""ConvTransE decoder (Eq. 12), plus the symmetric relation decoder.
+
+The entity decoder stacks the query's subject and relation embeddings as
+a 2-channel sequence, applies a 1-D convolution, projects back to the
+embedding dimension, and scores every entity by inner product.  The
+relation decoder does the same with (subject, object) channels against
+the relation matrix — HisRES trains both jointly (Eq. 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import BatchNorm1d, Conv1d, Dropout, Linear
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, stack
+
+
+class ConvTransEDecoder(Module):
+    """Scores (query embedding pair) against a candidate matrix."""
+
+    def __init__(
+        self,
+        dim: int,
+        channels: int = 8,
+        kernel_size: int = 3,
+        dropout: float = 0.2,
+        use_batchnorm: bool = False,
+    ):
+        super().__init__()
+        self.dim = dim
+        self.conv = Conv1d(2, channels, kernel_size, padding=kernel_size // 2)
+        # the original ConvTransE uses BatchNorm; at this reproduction's
+        # micro-scale (batches of ~50 queries) BN statistics are noisy and
+        # slow convergence, so it is off by default (see DESIGN.md)
+        self.bn = BatchNorm1d(channels) if use_batchnorm else None
+        self.project = Linear(channels * dim, dim)
+        self.feature_dropout = Dropout(dropout)
+        self.hidden_dropout = Dropout(dropout)
+
+    def query_embedding(self, first: Tensor, second: Tensor) -> Tensor:
+        """Fuse the two query components into a d-dim vector per query.
+
+        Args:
+            first / second: (batch, d) embeddings, e.g. subjects and
+                relations for entity prediction.
+        """
+        x = stack([first, second], axis=1)  # (batch, 2, d)
+        x = self.conv(x)
+        if self.bn is not None:
+            x = self.bn(x)
+        x = F.relu(x)
+        x = self.feature_dropout(x)
+        x = x.reshape(x.shape[0], -1)
+        x = self.project(x)
+        x = F.relu(x)
+        return self.hidden_dropout(x)
+
+    def forward(self, first: Tensor, second: Tensor, candidates: Tensor) -> Tensor:
+        """Return logits (batch, num_candidates)."""
+        fused = self.query_embedding(first, second)
+        return fused @ candidates.T

@@ -1,0 +1,42 @@
+"""Self-gating mechanism (Eqs. 8-9 and 13-14).
+
+A sigmoid gate computed from one representation adaptively mixes two
+entity matrices::
+
+    Theta = sigmoid(W E_a + b)
+    E = Theta * E_a + (1 - Theta) * E_b
+
+HisRES applies it twice: fusing intra/inter-snapshot granularities
+(Eq. 8) and fusing global/local encoder outputs (Eq. 13).  The
+``enabled=False`` mode replaces the gate with a plain element-wise mean,
+which is the HisRES-w/o-SG ablation's "simple summation".
+"""
+
+from __future__ import annotations
+
+from repro.nn import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class SelfGating(Module):
+    """Adaptive fusion of two equally-shaped embedding matrices."""
+
+    def __init__(self, dim: int, enabled: bool = True):
+        super().__init__()
+        self.enabled = enabled
+        if enabled:
+            self.gate = Linear(dim, dim)  # W_3 / W_8 with bias
+
+    def forward(self, primary: Tensor, secondary: Tensor) -> Tensor:
+        """Gate computed from ``primary``; mixes primary vs secondary."""
+        if not self.enabled:
+            return (primary + secondary) * 0.5
+        theta = self.gate(primary).sigmoid()
+        return theta * primary + (1.0 - theta) * secondary
+
+    def gate_values(self, primary: Tensor) -> Tensor:
+        """Expose Theta for inspection/diagnostics."""
+        if not self.enabled:
+            raise RuntimeError("gating disabled; no gate values")
+        return self.gate(primary).sigmoid()

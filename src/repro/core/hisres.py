@@ -1,0 +1,148 @@
+"""The full HisRES model (paper §3, Figure 2).
+
+Pipeline per prediction timestamp:
+
+1. multi-granularity evolutionary encoder -> E^g_t, E^gg_t, R_t;
+2. self-gating fuses granularities (Eq. 8) -> E_t;
+3. global relevance encoder on G^H_t from E_t -> E^H_t;
+4. self-gating fuses local/global (Eq. 13) -> E^phi_t;
+5. ConvTransE decoders score entities and relations (Eq. 12);
+6. joint cross-entropy loss with coefficient alpha (Eq. 15).
+
+All Table 4 ablations are switch-driven through
+:class:`repro.core.config.HisRESConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import Embedding, cross_entropy
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.core.config import HisRESConfig
+from repro.core.decoder import ConvTransEDecoder
+from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.gating import SelfGating
+from repro.core.relevance import GlobalRelevanceEncoder
+from repro.core.window import HistoryWindow
+
+
+class HisRES(Module):
+    """Historically Relevant Event Structuring model.
+
+    Args:
+        num_entities: entity vocabulary size.
+        num_relations: *base* relation count; the model internally uses
+            the doubled space for inverse relations.
+        config: hyper-parameters and ablation switches.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, config: Optional[HisRESConfig] = None):
+        super().__init__()
+        self.config = config or HisRESConfig()
+        cfg = self.config
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        d = cfg.embedding_dim
+
+        self.entity_embedding = Embedding(num_entities, d)
+        self.relation_embedding = Embedding(2 * num_relations, d)
+
+        if cfg.use_evolution:
+            self.evolution = MultiGranularityEvolutionaryEncoder(
+                d,
+                num_layers=cfg.num_layers,
+                dropout=cfg.dropout,
+                use_relation_updating=cfg.use_relation_updating,
+                use_time_encoding=cfg.use_time_encoding,
+                use_inter_snapshot=cfg.use_multi_granularity,
+            )
+            self.granularity_gate = SelfGating(d, enabled=cfg.use_self_gating_local)
+        if cfg.use_global:
+            self.global_encoder = GlobalRelevanceEncoder(
+                d,
+                num_layers=cfg.num_layers,
+                aggregator=cfg.global_aggregator,
+                dropout=cfg.dropout,
+            )
+            self.global_gate = SelfGating(d, enabled=cfg.use_self_gating_global)
+
+        self.entity_decoder = ConvTransEDecoder(
+            d, channels=cfg.decoder_channels, kernel_size=cfg.decoder_kernel, dropout=cfg.dropout
+        )
+        self.relation_decoder = ConvTransEDecoder(
+            d, channels=cfg.decoder_channels, kernel_size=cfg.decoder_kernel, dropout=cfg.dropout
+        )
+
+    # ------------------------------------------------------------------
+    def encode(self, window: HistoryWindow) -> Tuple[Tensor, Tensor]:
+        """Run both encoders; return (E^phi_t, R_t)."""
+        cfg = self.config
+        e_init = self.entity_embedding.all()
+        r_init = self.relation_embedding.all()
+
+        if cfg.use_evolution:
+            e_intra, e_inter, r_out = self.evolution(
+                e_init, r_init, window.snapshots, window.merged, window.deltas
+            )
+            if e_inter is not None:
+                e_local = self.granularity_gate(e_intra, e_inter)  # Eq. 8
+            else:
+                e_local = e_intra
+        else:
+            e_local, r_out = e_init, r_init
+
+        if cfg.use_global and window.global_graph is not None:
+            e_global = self.global_encoder(e_local, r_out, window.global_graph)
+            e_final = self.global_gate(e_global, e_local)  # Eq. 13
+        else:
+            e_final = e_local
+        return e_final, r_out
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, window: HistoryWindow, queries: np.ndarray
+    ) -> Tuple[Tensor, Tensor]:
+        """Score entity and relation predictions for ``queries``.
+
+        Args:
+            window: assembled history (see
+                :class:`repro.core.window.WindowBuilder`).
+            queries: (n, >=3) array of (s, r, o[, t]) — inverse queries
+                included by the caller.
+
+        Returns:
+            (entity_logits (n, |E|), relation_logits (n, 2|R|)).
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        entity_matrix, relation_matrix = self.encode(window)
+        subj = entity_matrix.index_select(queries[:, 0])
+        rel = relation_matrix.index_select(queries[:, 1])
+        obj = entity_matrix.index_select(queries[:, 2])
+        entity_logits = self.entity_decoder(subj, rel, entity_matrix)
+        relation_logits = self.relation_decoder(subj, obj, relation_matrix)
+        return entity_logits, relation_logits
+
+    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        """Joint learning objective (Eq. 15)."""
+        queries = np.asarray(queries, dtype=np.int64)
+        entity_logits, relation_logits = self.forward(window, queries)
+        entity_loss = cross_entropy(entity_logits, queries[:, 2])
+        relation_loss = cross_entropy(relation_logits, queries[:, 1])
+        alpha = self.config.alpha
+        return entity_loss * alpha + relation_loss * (1.0 - alpha)
+
+    def predict_entities(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        """Entity scores as a plain array (evaluation helper)."""
+        from repro.nn.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            entity_logits, _ = self.forward(window, queries)
+        if was_training:
+            self.train()
+        return entity_logits.data

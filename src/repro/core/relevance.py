@@ -1,0 +1,50 @@
+"""Global relevance encoder (§3.4 of the paper).
+
+Runs the chosen aggregator over the globally relevant graph G^H_t,
+starting from the self-gated local embeddings E_t.  The paper's
+aggregator is ConvGAT; CompGCN and RGAT are the Table 4 ablations.
+Relations are never updated here (§3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+from repro.core.compgcn import CompGCNLayer
+from repro.core.convgat import ConvGATLayer
+from repro.core.rgat import RGATLayer
+from repro.graphs.snapshot import SnapshotGraph
+
+
+class GlobalRelevanceEncoder(Module):
+    """Stack of attention hops over the globally relevant graph."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_layers: int = 2,
+        aggregator: str = "convgat",
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.aggregator = aggregator
+        if aggregator == "convgat":
+            make = lambda: ConvGATLayer(dim, dropout=dropout)
+        elif aggregator == "rgat":
+            make = lambda: RGATLayer(dim, dropout=dropout)
+        elif aggregator == "compgcn":
+            make = lambda: CompGCNLayer(dim, update_relations=False, dropout=dropout)
+        else:
+            raise ValueError(f"unknown aggregator {aggregator!r}")
+        self.layers = ModuleList([make() for _ in range(num_layers)])
+
+    def forward(
+        self, entity_emb: Tensor, relation_emb: Tensor, graph: SnapshotGraph
+    ) -> Tensor:
+        """Return E^H_t (relations pass through unchanged)."""
+        e_state = entity_emb
+        for layer in self.layers:
+            e_state, _ = layer(e_state, relation_emb, graph)
+        return e_state

@@ -1,0 +1,52 @@
+"""RGAT: relational graph attention in the style of KBGAT.
+
+Used only for the HisRES-w/-RGAT ablation (Table 4, third block): it
+replaces ConvGAT inside the global relevance encoder with a plain
+attention aggregator — same attention normalisation, but messages are a
+linear projection of the concatenated triple instead of the
+convolution-fused ``psi(s + r)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import Dropout, Linear, RReLU
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+from repro.graphs.snapshot import SnapshotGraph
+
+
+class RGATLayer(Module):
+    """One relational graph attention hop."""
+
+    def __init__(self, dim: int, leaky_slope: float = 0.2, dropout: float = 0.0):
+        super().__init__()
+        self.dim = dim
+        self.attn = Linear(3 * dim, 1, bias=False)
+        self.leaky_slope = leaky_slope
+        self.message_proj = Linear(3 * dim, dim, bias=False)
+        self.self_proj = Linear(dim, dim, bias=False)
+        self.activation = RReLU()
+        self.dropout = Dropout(dropout)
+
+    def forward(
+        self, entity_emb: Tensor, relation_emb: Tensor, graph: SnapshotGraph
+    ) -> Tuple[Tensor, Tensor]:
+        if graph.num_edges == 0:
+            out = self.activation(self.self_proj(entity_emb))
+            return self.dropout(out), relation_emb
+
+        subj = entity_emb.index_select(graph.src)
+        rel = relation_emb.index_select(graph.rel)
+        obj = entity_emb.index_select(graph.dst)
+        triple = concat([subj, rel, obj], axis=1)
+        logits = F.leaky_relu(self.attn(triple), self.leaky_slope).reshape(graph.num_edges)
+        weights = F.segment_softmax(logits, graph.dst, graph.num_entities)
+        messages = self.message_proj(triple) * weights.reshape(-1, 1)
+        aggregated = Tensor(np.zeros(entity_emb.shape)).scatter_add(graph.dst, messages)
+        out = self.activation(aggregated + self.self_proj(entity_emb))
+        return self.dropout(out), relation_emb

@@ -1,0 +1,44 @@
+"""Periodic time encoding (Eqs. 1-2 of the paper).
+
+``dt = cos(w_t * (t - t_i) + b_t)`` produces a d-dimensional periodic
+code of the interval between a historical snapshot at ``t_i`` and the
+prediction time ``t``; entity embeddings are then fused with it through
+a linear layer ``W_0 [E || dt]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Parameter, init
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+
+class TimeEncoding(Module):
+    """Cosine periodic time code plus the entity-fusion projection."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        self.dim = dim
+        self.weight = Parameter(init.xavier_uniform((dim,)))
+        self.bias = Parameter(init.zeros((dim,)))
+        self.fuse = Linear(2 * dim, dim)  # W_0 in Eq. (2)
+
+    def encode(self, delta: float) -> Tensor:
+        """Eq. (1): the d-dim periodic code of a scalar time interval."""
+        return (self.weight * float(delta) + self.bias).cos()
+
+    def forward(self, entity_emb: Tensor, delta: float) -> Tensor:
+        """Eq. (2): fuse every entity embedding with the time code.
+
+        Args:
+            entity_emb: (num_entities, d).
+            delta: ``t - t_i`` scalar interval.
+
+        Returns:
+            (num_entities, d) time-conditioned embeddings.
+        """
+        code = self.encode(delta)
+        tiled = Tensor(np.ones((entity_emb.shape[0], 1))) @ code.reshape(1, self.dim)
+        return self.fuse(concat([entity_emb, tiled], axis=1))

@@ -1,0 +1,160 @@
+"""Prediction-window assembly: everything a HisRES forward pass needs.
+
+The trainer walks the timeline; at each prediction timestamp it packages
+the ``l`` most recent snapshot graphs, the merged inter-snapshot graphs,
+the time deltas, and the globally relevant graph into a
+:class:`HistoryWindow`.  Building graphs once per timestamp (and caching
+them) keeps epochs O(facts), not O(facts * epochs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.global_graph import GlobalGraphBuilder
+from repro.graphs.history import HistoryVocabulary
+from repro.graphs.merge import windowed_merges
+from repro.graphs.snapshot import SnapshotGraph, build_snapshot
+
+
+@dataclass
+class HistoryWindow:
+    """Inputs for one prediction timestamp.
+
+    Attributes:
+        snapshots: the ``l`` most recent snapshot graphs, oldest first.
+        merged: merged inter-snapshot graphs (sliding windows).
+        deltas: ``t_pred - t_i`` per snapshot, parallel to ``snapshots``.
+        global_graph: G^H_t, or None when the global encoder is off.
+        history_masks: per-query binary (n, |E|) matrix of historically
+            seen objects, or None (consumed by vocabulary baselines:
+            CyGNet, TiRGN, CENET).
+        history_counts: per-query (n, |E|) historical frequency matrix,
+            or None.
+        prediction_time: the timestamp being predicted.
+    """
+
+    snapshots: List[SnapshotGraph]
+    merged: List[SnapshotGraph]
+    deltas: List[float]
+    global_graph: Optional[SnapshotGraph]
+    prediction_time: int
+    history_masks: Optional[np.ndarray] = None
+    history_counts: Optional[np.ndarray] = None
+
+
+class WindowBuilder:
+    """Stateful walker that yields a :class:`HistoryWindow` per timestamp.
+
+    Call :meth:`advance` with each snapshot's quads *in chronological
+    order*; it returns the window for predicting that snapshot (from the
+    history indexed so far) and then absorbs the snapshot into history.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        history_length: int = 4,
+        granularity: int = 2,
+        use_global: bool = True,
+        global_max_history: Optional[int] = None,
+        track_vocabulary: bool = False,
+    ):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.history_length = history_length
+        self.granularity = granularity
+        self.use_global = use_global
+        self.track_vocabulary = track_vocabulary
+        self._recent_quads: List[np.ndarray] = []
+        self._recent_graphs: List[SnapshotGraph] = []
+        self._recent_times: List[int] = []
+        self._global = GlobalGraphBuilder(
+            num_entities, 2 * num_relations, max_history=global_max_history
+        )
+        self._vocab = (
+            HistoryVocabulary(num_entities, 2 * num_relations) if track_vocabulary else None
+        )
+
+    def reset(self) -> None:
+        self._recent_quads.clear()
+        self._recent_graphs.clear()
+        self._recent_times.clear()
+        self._global.reset()
+        if self._vocab is not None:
+            self._vocab.reset()
+
+    # ------------------------------------------------------------------
+    def window_for(self, queries: np.ndarray, prediction_time: int) -> HistoryWindow:
+        """Assemble the window for predicting ``queries`` at ``prediction_time``.
+
+        ``queries`` must already include inverse queries (two-phase
+        propagation) because the global graph keys on their (s, r) pairs.
+        """
+        snapshots = list(self._recent_graphs)
+        merged = (
+            windowed_merges(
+                self._recent_quads,
+                self.num_entities,
+                self.num_relations,
+                granularity=self.granularity,
+            )
+            if self._recent_quads
+            else []
+        )
+        deltas = [float(prediction_time - t) for t in self._recent_times]
+        global_graph = None
+        if self.use_global:
+            pairs = {(int(q[0]), int(q[1])) for q in queries}
+            global_graph = self._global.build(pairs, now=prediction_time)
+        masks = counts = None
+        if self._vocab is not None:
+            queries = np.asarray(queries, dtype=np.int64)
+            masks = self._vocab.seen_mask(queries[:, 0], queries[:, 1])
+            counts = self._vocab.count_matrix(queries[:, 0], queries[:, 1])
+        return HistoryWindow(
+            snapshots=snapshots,
+            merged=merged,
+            deltas=deltas,
+            global_graph=global_graph,
+            prediction_time=prediction_time,
+            history_masks=masks,
+            history_counts=counts,
+        )
+
+    def absorb(self, quads: np.ndarray) -> None:
+        """Add a snapshot (raw+inverse quads) to the rolling history."""
+        quads = np.asarray(quads, dtype=np.int64).reshape(-1, 4)
+        if len(quads) == 0:
+            return
+        graph = build_snapshot(quads, self.num_entities, self.num_relations)
+        self._recent_quads.append(quads)
+        self._recent_graphs.append(graph)
+        self._recent_times.append(int(quads[0, 3]))
+        if len(self._recent_quads) > self.history_length:
+            self._recent_quads.pop(0)
+            self._recent_graphs.pop(0)
+            self._recent_times.pop(0)
+        # the global index keeps *everything*, with inverse facts, so the
+        # inverse query pairs hit it too
+        doubled = np.concatenate(
+            [
+                quads,
+                np.stack(
+                    [quads[:, 2], quads[:, 1] + self.num_relations, quads[:, 0], quads[:, 3]],
+                    axis=1,
+                ),
+            ]
+        )
+        self._global.add_snapshot(doubled)
+        if self._vocab is not None:
+            self._vocab.add_snapshot(doubled)
+
+    @property
+    def history_filled(self) -> bool:
+        """Whether at least one snapshot of history exists."""
+        return len(self._recent_quads) > 0

@@ -1,0 +1,46 @@
+"""TKG data model: quadruples, datasets, loaders, synthetic generators."""
+
+from repro.data.quadruple import Quadruple
+from repro.data.dataset import TKGDataset, SplitView
+from repro.data.loaders import load_tsv, save_tsv
+from repro.data.profiles import (
+    DatasetProfile,
+    PROFILES,
+    get_profile,
+)
+from repro.data.synthetic import SyntheticTKGGenerator, generate_dataset
+from repro.data.statistics import (
+    degree_distribution,
+    full_report,
+    pair_object_ambiguity,
+    snapshot_sizes,
+    temporal_drift,
+)
+from repro.data.networkx_bridge import (
+    dataset_to_networkx,
+    hub_entities,
+    snapshot_to_networkx,
+    snapshot_topology,
+)
+
+__all__ = [
+    "Quadruple",
+    "TKGDataset",
+    "SplitView",
+    "load_tsv",
+    "save_tsv",
+    "DatasetProfile",
+    "PROFILES",
+    "get_profile",
+    "SyntheticTKGGenerator",
+    "generate_dataset",
+    "degree_distribution",
+    "full_report",
+    "pair_object_ambiguity",
+    "snapshot_sizes",
+    "temporal_drift",
+    "dataset_to_networkx",
+    "hub_entities",
+    "snapshot_to_networkx",
+    "snapshot_topology",
+]

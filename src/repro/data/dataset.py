@@ -1,0 +1,200 @@
+"""TKG dataset container with chronological splits and snapshot views.
+
+Mirrors the data handling of the HisRES paper (§4.1.1): facts are sorted
+by timestamp and split 80/10/10 chronologically into train/valid/test;
+snapshots group concurrent facts; inverse relations double ``|R|`` for
+the two-phase raw/inverse propagation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.quadruple import Quadruple
+
+
+@dataclass
+class SplitView:
+    """One chronological split: a (N, 4) integer array of quadruples."""
+
+    quads: np.ndarray
+
+    def __post_init__(self):
+        self.quads = np.asarray(self.quads, dtype=np.int64).reshape(-1, 4)
+
+    def __len__(self) -> int:
+        return len(self.quads)
+
+    def __iter__(self) -> Iterator[Quadruple]:
+        for row in self.quads:
+            yield Quadruple(*map(int, row))
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Sorted unique timestamps present in this split."""
+        return np.unique(self.quads[:, 3])
+
+    def at_time(self, t: int) -> np.ndarray:
+        """Facts occurring exactly at timestamp ``t`` (may be empty)."""
+        return self.quads[self.quads[:, 3] == t]
+
+    def facts_by_time(self) -> Dict[int, np.ndarray]:
+        """Group facts into a ``{timestamp: (n, 4) array}`` mapping."""
+        order = np.argsort(self.quads[:, 3], kind="stable")
+        sorted_quads = self.quads[order]
+        result: Dict[int, np.ndarray] = {}
+        if len(sorted_quads) == 0:
+            return result
+        boundaries = np.flatnonzero(np.diff(sorted_quads[:, 3])) + 1
+        for chunk in np.split(sorted_quads, boundaries):
+            result[int(chunk[0, 3])] = chunk
+        return result
+
+
+class TKGDataset:
+    """A temporal knowledge graph with vocabularies and splits.
+
+    Args:
+        quads: (N, 4) integer array of ``(s, r, o, t)`` facts.
+        num_entities: size of the entity vocabulary.
+        num_relations: size of the *base* relation vocabulary (inverse
+            relations are handled by callers via :meth:`add_inverse`).
+        name: dataset identifier (e.g. ``"icews14s_small"``).
+        time_granularity: human-readable granularity label ("1 day", …).
+        entity_names / relation_names: optional id -> string mappings.
+    """
+
+    def __init__(
+        self,
+        quads: np.ndarray,
+        num_entities: int,
+        num_relations: int,
+        name: str = "tkg",
+        time_granularity: str = "1 step",
+        entity_names: Optional[Sequence[str]] = None,
+        relation_names: Optional[Sequence[str]] = None,
+    ):
+        quads = np.asarray(quads, dtype=np.int64).reshape(-1, 4)
+        if len(quads):
+            if quads[:, 0].max() >= num_entities or quads[:, 2].max() >= num_entities:
+                raise ValueError("entity id out of range")
+            if quads[:, 1].max() >= num_relations:
+                raise ValueError("relation id out of range")
+            if quads.min() < 0:
+                raise ValueError("negative ids are not allowed")
+        order = np.lexsort((quads[:, 2], quads[:, 1], quads[:, 0], quads[:, 3]))
+        self.quads = quads[order]
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.name = name
+        self.time_granularity = time_granularity
+        self.entity_names = list(entity_names) if entity_names is not None else None
+        self.relation_names = list(relation_names) if relation_names is not None else None
+        self._splits: Optional[Tuple[SplitView, SplitView, SplitView]] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.quads)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return np.unique(self.quads[:, 3])
+
+    @property
+    def num_timestamps(self) -> int:
+        return len(self.timestamps)
+
+    # ------------------------------------------------------------------
+    def chronological_split(
+        self, train: float = 0.8, valid: float = 0.1
+    ) -> Tuple[SplitView, SplitView, SplitView]:
+        """Split facts 80/10/10 by *timestamp boundaries* (never splitting
+        a snapshot across subsets), matching the benchmark convention."""
+        if not 0 < train < 1 or not 0 < valid < 1 or train + valid >= 1:
+            raise ValueError("fractions must be in (0,1) with train+valid < 1")
+        times = self.timestamps
+        n_train = max(1, int(round(len(times) * train)))
+        n_valid = max(1, int(round(len(times) * valid)))
+        if n_train + n_valid >= len(times):
+            raise ValueError("dataset has too few timestamps to split")
+        train_end = times[n_train - 1]
+        valid_end = times[n_train + n_valid - 1]
+        t = self.quads[:, 3]
+        split = (
+            SplitView(self.quads[t <= train_end]),
+            SplitView(self.quads[(t > train_end) & (t <= valid_end)]),
+            SplitView(self.quads[t > valid_end]),
+        )
+        self._splits = split
+        return split
+
+    @property
+    def train(self) -> SplitView:
+        if self._splits is None:
+            self.chronological_split()
+        return self._splits[0]
+
+    @property
+    def valid(self) -> SplitView:
+        if self._splits is None:
+            self.chronological_split()
+        return self._splits[1]
+
+    @property
+    def test(self) -> SplitView:
+        if self._splits is None:
+            self.chronological_split()
+        return self._splits[2]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add_inverse(quads: np.ndarray, num_relations: int) -> np.ndarray:
+        """Append inverse quadruples ``(o, r + |R|, s, t)``.
+
+        After this call relation ids span ``[0, 2 |R|)``; models built on
+        the doubled vocabulary see every edge in both directions.
+        """
+        quads = np.asarray(quads, dtype=np.int64).reshape(-1, 4)
+        inverse = quads[:, [2, 1, 0, 3]].copy()
+        inverse[:, 1] += num_relations
+        return np.concatenate([quads, inverse], axis=0)
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        """Table 2-style statistics."""
+        train, valid, test = (
+            self._splits if self._splits is not None else self.chronological_split()
+        )
+        return {
+            "dataset": self.name,
+            "entities": self.num_entities,
+            "relations": self.num_relations,
+            "training_facts": len(train),
+            "validation_facts": len(valid),
+            "testing_facts": len(test),
+            "timestamps": self.num_timestamps,
+            "time_granularity": self.time_granularity,
+        }
+
+    def repetition_ratio(self) -> float:
+        """Fraction of test facts whose (s, r, o) already occurred in
+        train/valid history — the phenomenon global-history models
+        (CyGNet, TiRGN, the global relevance encoder) exploit."""
+        train, valid, test = (
+            self._splits if self._splits is not None else self.chronological_split()
+        )
+        seen = {tuple(row[:3]) for row in train.quads}
+        seen.update(tuple(row[:3]) for row in valid.quads)
+        if len(test) == 0:
+            return 0.0
+        hits = sum(tuple(row[:3]) in seen for row in test.quads)
+        return hits / len(test)
+
+    def __repr__(self) -> str:
+        return (
+            f"TKGDataset({self.name!r}, |E|={self.num_entities}, |R|={self.num_relations}, "
+            f"|F|={len(self)}, |T|={self.num_timestamps})"
+        )

@@ -1,0 +1,64 @@
+"""NetworkX interoperability: explore TKG snapshots with graph tooling.
+
+Converts snapshots (or whole datasets) to ``networkx.MultiDiGraph`` so
+the usual network-analysis toolbox — components, paths, centrality —
+works on TKG data, and computes per-snapshot topology summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.data.dataset import TKGDataset
+
+
+def snapshot_to_networkx(
+    dataset: TKGDataset, timestamp: int, relation_names: Optional[List[str]] = None
+) -> nx.MultiDiGraph:
+    """One snapshot as a MultiDiGraph with `relation` edge attributes."""
+    graph = nx.MultiDiGraph(timestamp=timestamp)
+    graph.add_nodes_from(range(dataset.num_entities))
+    quads = dataset.quads[dataset.quads[:, 3] == timestamp]
+    for s, r, o, _ in quads:
+        label = relation_names[int(r)] if relation_names else int(r)
+        graph.add_edge(int(s), int(o), relation=label)
+    return graph
+
+
+def dataset_to_networkx(dataset: TKGDataset) -> nx.MultiDiGraph:
+    """The whole dataset as one graph; edges carry `relation` + `time`."""
+    graph = nx.MultiDiGraph(name=dataset.name)
+    graph.add_nodes_from(range(dataset.num_entities))
+    for s, r, o, t in dataset.quads:
+        graph.add_edge(int(s), int(o), relation=int(r), time=int(t))
+    return graph
+
+
+def snapshot_topology(dataset: TKGDataset, timestamp: int) -> Dict[str, float]:
+    """Topology summary of one snapshot (on the undirected simple view)."""
+    multi = snapshot_to_networkx(dataset, timestamp)
+    simple = nx.Graph(multi)
+    simple.remove_nodes_from(list(nx.isolates(simple)))
+    if simple.number_of_nodes() == 0:
+        return {"nodes": 0, "edges": 0, "components": 0,
+                "largest_component": 0, "density": 0.0, "clustering": 0.0}
+    components = list(nx.connected_components(simple))
+    return {
+        "nodes": simple.number_of_nodes(),
+        "edges": simple.number_of_edges(),
+        "components": len(components),
+        "largest_component": max(len(c) for c in components),
+        "density": nx.density(simple),
+        "clustering": nx.average_clustering(simple),
+    }
+
+
+def hub_entities(dataset: TKGDataset, top_k: int = 5) -> List[Dict[str, float]]:
+    """Most-central entities of the full graph by degree centrality."""
+    graph = nx.Graph(dataset_to_networkx(dataset))
+    centrality = nx.degree_centrality(graph)
+    order = sorted(centrality, key=centrality.get, reverse=True)[:top_k]
+    return [{"entity": int(e), "degree_centrality": float(centrality[e])} for e in order]

@@ -1,0 +1,25 @@
+"""The quadruple fact type ``(subject, relation, object, timestamp)``."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Quadruple(NamedTuple):
+    """A single TKG fact.
+
+    All fields are integer ids; names live in the dataset vocabularies.
+    """
+
+    subject: int
+    relation: int
+    object: int
+    timestamp: int
+
+    def inverse(self, num_relations: int) -> "Quadruple":
+        """The inverse fact ``(o, r + |R|, s, t)`` used for two-phase
+        raw/inverse propagation (as in LogCL and RE-GCN)."""
+        return Quadruple(self.object, self.relation + num_relations, self.subject, self.timestamp)
+
+    def as_tuple(self) -> tuple:
+        return (self.subject, self.relation, self.object, self.timestamp)

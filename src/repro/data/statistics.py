@@ -1,0 +1,102 @@
+"""Temporal dataset analysis: the statistics behind the Table 2 claims.
+
+Beyond raw counts, these measurements verify the synthetic profiles
+carry the temporal character of the real benchmarks: heavy-tailed
+degrees, stable per-snapshot volume, non-trivial drift, and high but
+imperfect historical coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data.dataset import TKGDataset
+
+
+def snapshot_sizes(dataset: TKGDataset) -> np.ndarray:
+    """Number of facts per timestamp (zero-filled gaps included)."""
+    times = dataset.quads[:, 3]
+    t_min, t_max = int(times.min()), int(times.max())
+    sizes = np.zeros(t_max - t_min + 1, dtype=np.int64)
+    np.add.at(sizes, times - t_min, 1)
+    return sizes
+
+
+def degree_distribution(dataset: TKGDataset) -> Dict[str, float]:
+    """Entity participation statistics (heavy-tail diagnostics)."""
+    counts = np.bincount(
+        np.concatenate([dataset.quads[:, 0], dataset.quads[:, 2]]),
+        minlength=dataset.num_entities,
+    ).astype(np.float64)
+    nonzero = counts[counts > 0]
+    sorted_counts = np.sort(counts)[::-1]
+    top_decile = max(1, dataset.num_entities // 10)
+    return {
+        "mean_degree": float(counts.mean()),
+        "max_degree": float(counts.max()),
+        "gini": _gini(counts),
+        "top_decile_share": float(sorted_counts[:top_decile].sum() / counts.sum()),
+        "coverage": float((counts > 0).mean()),
+        "median_active_degree": float(np.median(nonzero)) if len(nonzero) else 0.0,
+    }
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative array (0 = uniform)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(values)
+    if n == 0 or values.sum() == 0:
+        return 0.0
+    cumulative = np.cumsum(values)
+    return float((n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n)
+
+
+def pair_object_ambiguity(dataset: TKGDataset) -> Dict[str, float]:
+    """How many distinct objects each (s, r) pair co-occurs with.
+
+    High ambiguity is what separates learned rankers from frequency
+    masks: a mask over K candidates caps at MRR ~ (1/K) * H_K.
+    """
+    pairs: Dict[tuple, set] = {}
+    for s, r, o, _ in dataset.quads:
+        pairs.setdefault((int(s), int(r)), set()).add(int(o))
+    sizes = np.array([len(objects) for objects in pairs.values()], dtype=np.float64)
+    return {
+        "num_pairs": int(len(sizes)),
+        "mean_objects_per_pair": float(sizes.mean()),
+        "max_objects_per_pair": float(sizes.max()),
+        "ambiguous_pair_fraction": float((sizes > 1).mean()),
+    }
+
+
+def temporal_drift(dataset: TKGDataset, window: int = 10) -> float:
+    """Jaccard distance between early and late fact populations.
+
+    0 means the first and last ``window`` snapshots contain identical
+    triples (fully stationary); 1 means total turnover.  Real event
+    data sits well above 0.5.
+    """
+    times = np.unique(dataset.quads[:, 3])
+    early_ts = set(times[:window].tolist())
+    late_ts = set(times[-window:].tolist())
+    early = {tuple(q[:3]) for q in dataset.quads if int(q[3]) in early_ts}
+    late = {tuple(q[:3]) for q in dataset.quads if int(q[3]) in late_ts}
+    union = early | late
+    if not union:
+        return 0.0
+    return 1.0 - len(early & late) / len(union)
+
+
+def full_report(dataset: TKGDataset) -> Dict[str, object]:
+    """All measurements in one dict (CLI/bench consumption)."""
+    sizes = snapshot_sizes(dataset)
+    report: Dict[str, object] = dict(dataset.statistics())
+    report["repetition_ratio"] = dataset.repetition_ratio()
+    report["snapshot_size_mean"] = float(sizes.mean())
+    report["snapshot_size_std"] = float(sizes.std())
+    report["temporal_drift"] = temporal_drift(dataset)
+    report.update({f"degree_{k}": v for k, v in degree_distribution(dataset).items()})
+    report.update({f"pair_{k}": v for k, v in pair_object_ambiguity(dataset).items()})
+    return report

@@ -1,0 +1,28 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.experiments.runner import (
+    BenchScale,
+    RunConfig,
+    get_scale,
+    run_model_on_dataset,
+)
+from repro.experiments.table2 import table2_dataset_statistics
+from repro.experiments.table3 import table3_main_results
+from repro.experiments.table4 import table4_ablations, ABLATION_VARIANTS
+from repro.experiments.figure5 import (
+    figure5a_granularity_sensitivity,
+    figure5b_layer_sensitivity,
+)
+
+__all__ = [
+    "BenchScale",
+    "RunConfig",
+    "get_scale",
+    "run_model_on_dataset",
+    "table2_dataset_statistics",
+    "table3_main_results",
+    "table4_ablations",
+    "ABLATION_VARIANTS",
+    "figure5a_granularity_sensitivity",
+    "figure5b_layer_sensitivity",
+]

@@ -1,0 +1,53 @@
+"""Terminal-friendly plotting for the Figure 5 series.
+
+No plotting dependencies exist in this environment, so the benchmark
+suite renders its "figures" as unicode bar charts — enough to read the
+sensitivity *shape* (which is what Figure 5 communicates) from a log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return _BARS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int(round((v - low) / span * (len(_BARS) - 1)))
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence, values: Sequence[float], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bar chart with labels and values."""
+    values = [float(v) for v in values]
+    if not values:
+        return "(no data)"
+    high = max(values)
+    lines = []
+    label_width = max(len(str(l)) for l in labels)
+    for label, value in zip(labels, values):
+        filled = int(round(value / high * width)) if high > 0 else 0
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_figure(title: str, rows: List[Dict], x_key: str, y_key: str = "mrr") -> str:
+    """Render a Figure-5-style series (one bench row per x value)."""
+    labels = [row[x_key] for row in rows]
+    values = [row[y_key] for row in rows]
+    parts = [f"{title}   [{sparkline(values)}]", bar_chart(labels, values)]
+    return "\n".join(parts)

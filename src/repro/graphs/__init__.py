@@ -1,0 +1,15 @@
+"""Graph substrates: snapshot graphs, merged inter-snapshot graphs,
+globally relevant graphs, and historical vocabularies."""
+
+from repro.graphs.snapshot import SnapshotGraph, build_snapshot
+from repro.graphs.merge import merge_snapshots
+from repro.graphs.global_graph import GlobalGraphBuilder
+from repro.graphs.history import HistoryVocabulary
+
+__all__ = [
+    "SnapshotGraph",
+    "build_snapshot",
+    "merge_snapshots",
+    "GlobalGraphBuilder",
+    "HistoryVocabulary",
+]

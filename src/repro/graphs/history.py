@@ -1,0 +1,64 @@
+"""Historical vocabularies: sparse (s, r) -> seen-objects statistics.
+
+This is the "category (a)" machinery from the paper's related work —
+CyGNet's copy-mode vocabulary, TiRGN's global history mask, and CENET's
+historical/non-historical split all consume this structure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+class HistoryVocabulary:
+    """Incremental per-(s, r) record of historically observed objects.
+
+    Maintains both a binary "has been seen" view and occurrence counts;
+    CyGNet uses counts (frequencies) while TiRGN uses the binary mask.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self._counts: Dict[Tuple[int, int], Dict[int, int]] = defaultdict(dict)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def add_snapshot(self, quads: np.ndarray) -> None:
+        """Record the facts of one snapshot (timestamp order assumed)."""
+        quads = np.asarray(quads, dtype=np.int64).reshape(-1, 4)
+        for s, r, o, _ in quads:
+            bucket = self._counts[(int(s), int(r))]
+            bucket[int(o)] = bucket.get(int(o), 0) + 1
+
+    # ------------------------------------------------------------------
+    def seen_mask(self, subjects: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """Binary matrix (batch, |E|): 1 where the object was ever seen
+        with the query pair."""
+        subjects = np.asarray(subjects, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        mask = np.zeros((len(subjects), self.num_entities))
+        for i, (s, r) in enumerate(zip(subjects, relations)):
+            bucket = self._counts.get((int(s), int(r)))
+            if bucket:
+                mask[i, list(bucket)] = 1.0
+        return mask
+
+    def count_matrix(self, subjects: np.ndarray, relations: np.ndarray) -> np.ndarray:
+        """Count matrix (batch, |E|) of historical (s, r, o) frequencies."""
+        subjects = np.asarray(subjects, dtype=np.int64)
+        relations = np.asarray(relations, dtype=np.int64)
+        counts = np.zeros((len(subjects), self.num_entities))
+        for i, (s, r) in enumerate(zip(subjects, relations)):
+            bucket = self._counts.get((int(s), int(r)))
+            if bucket:
+                counts[i, list(bucket)] = list(bucket.values())
+        return counts
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self._counts)

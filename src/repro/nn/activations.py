@@ -1,0 +1,71 @@
+"""Activation modules wrapping the functional forms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.rand import fresh_generator
+from repro.nn.tensor import Tensor
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    """LeakyReLU used inside ConvGAT attention scores (Eq. 10)."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class RReLU(Module):
+    """Randomized leaky ReLU (Eqs. 3, 5, 11 of the paper).
+
+    Samples the negative slope uniformly from ``[lower, upper]`` during
+    training and uses the midpoint during evaluation.
+    """
+
+    def __init__(
+        self,
+        lower: float = 1.0 / 8.0,
+        upper: float = 1.0 / 3.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if not 0 <= lower <= upper:
+            raise ValueError("require 0 <= lower <= upper")
+        self.lower = lower
+        self.upper = upper
+        self.rng = rng if rng is not None else fresh_generator()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.rrelu(x, self.lower, self.upper, training=self.training, rng=self.rng)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)

@@ -1,0 +1,77 @@
+"""Finite-difference gradient checking for custom operators.
+
+The same machinery the test-suite uses, exposed publicly so users
+adding operators to :mod:`repro.nn` can validate them::
+
+    from repro.nn.gradcheck import gradcheck
+    gradcheck(lambda a, b: a @ b, np.random.randn(3, 4), np.random.randn(4, 2))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    tensors: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` wrt one input."""
+    target = tensors[index]
+    grad = np.zeros_like(target.data)
+    for idx in np.ndindex(*(target.shape or (1,))):
+        original = target.data[idx]
+        target.data[idx] = original + eps
+        plus = fn(*[Tensor(t.data) for t in tensors]).item()
+        target.data[idx] = original - eps
+        minus = fn(*[Tensor(t.data) for t in tensors]).item()
+        target.data[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    *arrays,
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify autograd gradients of ``fn`` against finite differences.
+
+    ``fn`` maps Tensors to a Tensor; non-scalar outputs are scalarised
+    with a sum-of-squares so every output element contributes gradient.
+    Raises ``AssertionError`` with the worst mismatch on failure;
+    returns True on success.
+
+    Caveats: use smooth inputs (keep values away from kinks of
+    relu/abs/max and away from division poles), float64 only.
+    """
+
+    def scalar_fn(*tensors):
+        out = fn(*tensors)
+        return (out * out).sum() if out.size > 1 else out
+
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
+    loss = scalar_fn(*tensors)
+    if not loss.requires_grad:
+        raise AssertionError("function output does not depend on its inputs (no gradient path)")
+    loss.backward()
+    for i, tensor in enumerate(tensors):
+        if tensor.grad is None:
+            raise AssertionError(f"input {i} received no gradient")
+        expected = numeric_gradient(scalar_fn, tensors, i, eps=eps)
+        np.testing.assert_allclose(
+            tensor.grad,
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"analytic/numeric gradient mismatch on input {i}",
+        )
+    return True

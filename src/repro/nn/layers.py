@@ -1,0 +1,140 @@
+"""Core layers: Linear, Embedding, Dropout, LayerNorm, BatchNorm1d."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.rand import fresh_generator
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` (torch convention: weight is (out, in))."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features)))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias: Optional[Parameter] = Parameter(init.uniform((out_features,), -bound, bound))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table of ``num_embeddings`` vectors of size ``embedding_dim``."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.xavier_uniform((num_embeddings, embedding_dim)))
+
+    def forward(self, indices) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+    def all(self) -> Parameter:
+        """The full embedding matrix (used when every row participates)."""
+        return self.weight
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"invalid dropout probability {p}")
+        self.p = p
+        self.rng = rng if rng is not None else fresh_generator()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps) ** 0.5
+        return normed * self.weight + self.bias
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the batch dimension.
+
+    Used inside ConvE/ConvTransE decoders.  Keeps running statistics for
+    evaluation mode, matching torch defaults (momentum 0.1).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Accept (batch, features) or (batch, channels, length); statistics
+        # are computed per feature/channel.
+        if x.ndim == 3:
+            axes = (0, 2)
+            view = (1, -1, 1)
+        else:
+            axes = (0,)
+            view = (1, -1)
+        if self.training:
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            mean, var = batch_mean, batch_var
+        else:
+            mean, var = self.running_mean, self.running_var
+        mean_t = Tensor(mean.reshape(view))
+        std_t = Tensor(np.sqrt(var + self.eps).reshape(view))
+        normed = (x - mean_t) / std_t
+        return normed * self.weight.reshape(view) + self.bias.reshape(view)

@@ -1,0 +1,73 @@
+"""Loss functions.  HisRES trains with joint cross-entropy (Eq. 15)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood from log-probabilities and class indices."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if log_probs.ndim != 2:
+        raise ValueError("nll_loss expects (batch, classes) log-probabilities")
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy over class logits (multi-class prediction)."""
+    return nll_loss(F.log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def cross_entropy_label_smoothing(
+    logits: Tensor, targets: np.ndarray, smoothing: float = 0.1
+) -> Tensor:
+    """Cross-entropy with uniform label smoothing (ConvE-style training)."""
+    if not 0.0 <= smoothing < 1.0:
+        raise ValueError("smoothing must be in [0, 1)")
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    log_probs = F.log_softmax(logits, axis=-1)
+    nll = nll_loss(log_probs, targets, reduction="mean")
+    uniform = -log_probs.mean()
+    return nll * (1.0 - smoothing) + uniform * smoothing
+
+
+def margin_ranking_loss(
+    positive_scores: Tensor, negative_scores: Tensor, margin: float = 1.0
+) -> Tensor:
+    """Hinge ranking loss max(0, margin - pos + neg), mean-reduced.
+
+    The native objective of the translational family (TransE/RotatE);
+    exposed so the static baselines can be trained either way.
+    """
+    return (margin - positive_scores + negative_scores).clamp(min_value=0.0).mean()
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Numerically stable sigmoid BCE (used by the ConvE-style decoders
+    when trained with label smoothing over all entities)."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    # log(1 + exp(-|x|)) + max(x, 0) - x * t
+    abs_logits = logits.abs()
+    loss = (1.0 + (-abs_logits).exp()).log() + logits.clamp(min_value=0.0) - logits * targets_t
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

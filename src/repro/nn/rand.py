@@ -1,0 +1,15 @@
+"""Seedable randomness for stochastic layers.
+
+Layers that need an RNG (dropout, RReLU) default to a generator derived
+from numpy's legacy global state, so ``seed_everything`` makes model
+construction and training fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fresh_generator() -> np.random.Generator:
+    """A new Generator seeded from the (seedable) legacy global RNG."""
+    return np.random.default_rng(int(np.random.randint(0, 2**31)))

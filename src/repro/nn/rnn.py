@@ -1,0 +1,40 @@
+"""Recurrent units.  HisRES uses a GRU cell for entity/relation evolution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell.
+
+    Implements the standard torch.nn.GRUCell equations::
+
+        r = sigmoid(W_ir x + b_ir + W_hr h + b_hr)
+        z = sigmoid(W_iz x + b_iz + W_hz h + b_hz)
+        n = tanh(W_in x + b_in + r * (W_hn h + b_hn))
+        h' = (1 - z) * n + z * h
+
+    HisRES calls this with a whole embedding matrix as the "batch"
+    (one row per entity or relation), per Eqs. (4), (6), (7).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_proj = Linear(input_size, 3 * hidden_size)
+        self.hidden_proj = Linear(hidden_size, 3 * hidden_size)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gates_x = self.input_proj(x)
+        gates_h = self.hidden_proj(h)
+        d = self.hidden_size
+        r = (gates_x[:, :d] + gates_h[:, :d]).sigmoid()
+        z = (gates_x[:, d : 2 * d] + gates_h[:, d : 2 * d]).sigmoid()
+        n = (gates_x[:, 2 * d :] + r * gates_h[:, 2 * d :]).tanh()
+        return (1.0 - z) * n + z * h

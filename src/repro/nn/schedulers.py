@@ -1,0 +1,67 @@
+"""Learning-rate schedulers operating on the Optimizer's ``lr``."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """lr = base_lr * gamma^epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.epoch
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to base_lr over ``warmup_epochs``, then constant."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int = 3):
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.warmup_epochs = warmup_epochs
+        # start cold
+        optimizer.lr = self.base_lr / (warmup_epochs + 1)
+
+    def get_lr(self) -> float:
+        if self.epoch < self.warmup_epochs:
+            return self.base_lr * (self.epoch + 1) / (self.warmup_epochs + 1)
+        return self.base_lr

@@ -1,0 +1,43 @@
+"""Checkpointing: save/load module state as .npz archives."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(module: Module, path: str, metadata: Optional[Dict] = None) -> None:
+    """Write a module's parameters (plus JSON metadata) to ``path``.
+
+    The archive holds one array per parameter keyed by its dotted name,
+    and a JSON metadata blob (training epoch, config, metrics, …).
+    """
+    state = module.state_dict()
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    # np.savez requires keys to be valid; dotted names are fine
+    np.savez(path, **payload)
+
+
+def load_checkpoint(module: Module, path: str) -> Dict:
+    """Restore parameters saved by :func:`save_checkpoint`.
+
+    Returns the metadata dict.  Raises if the archive's parameters do
+    not exactly match the module's.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    module.load_state_dict(state)
+    return metadata

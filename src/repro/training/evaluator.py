@@ -1,0 +1,137 @@
+"""Time-aware filtered evaluation over a chronological walk.
+
+The evaluator replays the timeline: history is absorbed snapshot by
+snapshot; at each evaluation timestamp the model scores every query
+(raw and inverse) given only the past, and filtered ranks are recorded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.data.dataset import SplitView, TKGDataset
+from repro.training.metrics import RankingResult, filtered_ranks, summarize_ranks
+
+
+def build_time_filter(
+    quads: np.ndarray, num_relations: int
+) -> Dict[Tuple[int, int], Set[int]]:
+    """(s, r) -> true objects map for one timestamp, raw + inverse."""
+    time_filter: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+    for s, r, o, _ in np.asarray(quads, dtype=np.int64).reshape(-1, 4):
+        time_filter[(int(s), int(r))].add(int(o))
+        time_filter[(int(o), int(r) + num_relations)].add(int(s))
+    return time_filter
+
+
+class Evaluator:
+    """Walks the timeline and scores a model with time-filtered metrics.
+
+    Works with any model exposing ``predict_entities(window, queries)``
+    and relies on a :class:`repro.core.window.WindowBuilder` (owned by
+    the trainer) for history assembly.
+    """
+
+    def __init__(self, dataset: TKGDataset):
+        self.dataset = dataset
+        self.num_relations = dataset.num_relations
+
+    def queries_with_inverse(self, quads: np.ndarray) -> np.ndarray:
+        """Raw + inverse queries for one snapshot."""
+        return TKGDataset.add_inverse(quads, self.num_relations)
+
+    def evaluate_walk(
+        self,
+        model,
+        window_builder,
+        eval_split: SplitView,
+        warmup_splits: Iterable[SplitView] = (),
+        max_timestamps: Optional[int] = None,
+        two_phase: bool = False,
+    ) -> RankingResult:
+        """Evaluate ``model`` over ``eval_split``.
+
+        Args:
+            window_builder: a reset :class:`WindowBuilder`; this method
+                mutates it (absorbing history).
+            warmup_splits: earlier splits absorbed without prediction
+                (e.g. train+valid before scoring test).
+            max_timestamps: optionally cap evaluated timestamps (smoke
+                benchmarks).
+            two_phase: score the raw and inverse query sets in separate
+                forward passes, each with its own globally relevant
+                graph (the paper's propagation strategy, §4.1.3).  The
+                default single pass shares one graph for both — cheaper,
+                nearly identical metrics on the synthetic profiles.
+        """
+        window_builder.reset()
+        for split in warmup_splits:
+            for _, quads in sorted(split.facts_by_time().items()):
+                window_builder.absorb(quads)
+
+        ranks: List[np.ndarray] = []
+        items = sorted(eval_split.facts_by_time().items())
+        if max_timestamps is not None:
+            items = items[:max_timestamps]
+        for t, quads in items:
+            time_filter = build_time_filter(quads, self.num_relations)
+            if two_phase:
+                raw = np.asarray(quads, dtype=np.int64).reshape(-1, 4)
+                inverse = raw[:, [2, 1, 0, 3]].copy()
+                inverse[:, 1] += self.num_relations
+                for phase_queries in (raw, inverse):
+                    window = window_builder.window_for(phase_queries, prediction_time=t)
+                    scores = model.predict_entities(window, phase_queries)
+                    ranks.append(filtered_ranks(scores, phase_queries, time_filter))
+            else:
+                queries = self.queries_with_inverse(quads)
+                window = window_builder.window_for(queries, prediction_time=t)
+                scores = model.predict_entities(window, queries)
+                ranks.append(filtered_ranks(scores, queries, time_filter))
+            window_builder.absorb(quads)
+        return summarize_ranks(ranks)
+
+    def evaluate_relations(
+        self,
+        model,
+        window_builder,
+        eval_split: SplitView,
+        warmup_splits: Iterable[SplitView] = (),
+        max_timestamps: Optional[int] = None,
+    ) -> RankingResult:
+        """Relation-prediction metrics for joint models.
+
+        ``model`` must expose ``forward(window, queries) -> (entity
+        logits, relation logits)`` (HisRES, and any baseline with a
+        relation decoder exposing the same signature).  Ranks are
+        filtered against the true relations of the same (s, o) at t.
+        """
+        from repro.nn.tensor import no_grad
+
+        window_builder.reset()
+        for split in warmup_splits:
+            for _, quads in sorted(split.facts_by_time().items()):
+                window_builder.absorb(quads)
+
+        ranks: List[np.ndarray] = []
+        items = sorted(eval_split.facts_by_time().items())
+        if max_timestamps is not None:
+            items = items[:max_timestamps]
+        for t, quads in items:
+            queries = self.queries_with_inverse(quads)
+            window = window_builder.window_for(queries, prediction_time=t)
+            with no_grad():
+                _, relation_logits = model.forward(window, queries)
+            scores = relation_logits.data
+            # (s, o) -> true relations at this timestamp
+            rel_filter = {}
+            for s, r, o, _ in queries:
+                rel_filter.setdefault((int(s), int(o)), set()).add(int(r))
+            # reuse filtered_ranks by viewing queries as (s, o, r)
+            view = queries[:, [0, 2, 1]]
+            ranks.append(filtered_ranks(scores, view, rel_filter))
+            window_builder.absorb(quads)
+        return summarize_ranks(ranks)

@@ -1,0 +1,76 @@
+"""Training history: per-epoch records with CSV/JSON export."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """One training epoch's observables."""
+
+    epoch: int
+    train_loss: float
+    valid_mrr: Optional[float] = None
+    learning_rate: Optional[float] = None
+    wall_time_s: Optional[float] = None
+
+
+class TrainingHistory:
+    """Accumulates epoch records; plugs into ``Trainer.fit(callback=...)``.
+
+    Example::
+
+        history = TrainingHistory()
+        trainer.fit(epochs=30, callback=history.callback)
+        history.to_csv("run.csv")
+    """
+
+    def __init__(self):
+        self.records: List[EpochRecord] = []
+
+    def callback(self, epoch: int, loss: float, valid_mrr: Optional[float]) -> None:
+        """Signature-compatible with Trainer.fit's callback parameter."""
+        self.append(EpochRecord(epoch=epoch, train_loss=loss, valid_mrr=valid_mrr))
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def best_epoch(self) -> Optional[int]:
+        scored = [r for r in self.records if r.valid_mrr is not None]
+        if not scored:
+            return None
+        return max(scored, key=lambda r: r.valid_mrr).epoch
+
+    def losses(self) -> List[float]:
+        return [r.train_loss for r in self.records]
+
+    def to_rows(self) -> List[Dict]:
+        return [
+            {
+                "epoch": r.epoch,
+                "train_loss": r.train_loss,
+                "valid_mrr": r.valid_mrr,
+                "learning_rate": r.learning_rate,
+                "wall_time_s": r.wall_time_s,
+            }
+            for r in self.records
+        ]
+
+    def to_csv(self, path: str) -> None:
+        rows = self.to_rows()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]) if rows else ["epoch"])
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_rows(), handle, indent=2)

@@ -1,0 +1,65 @@
+"""Multi-seed experiment aggregation: mean +/- std over repeated runs.
+
+The paper reports single numbers; on this reproduction's small test
+splits seed noise is a few MRR points, so serious comparisons should
+run 3-5 seeds and look at the aggregate this module produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class AggregateMetric:
+    """Mean/std/min/max of one metric across seeds."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    values: List[float]
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "AggregateMetric":
+        arr = np.asarray(list(values), dtype=np.float64)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+            min=float(arr.min()),
+            max=float(arr.max()),
+            values=[float(v) for v in arr],
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} +/- {self.std:.3f}"
+
+
+def run_seeds(
+    run_fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int] = (1, 2, 3),
+) -> Dict[str, AggregateMetric]:
+    """Call ``run_fn(seed)`` per seed; aggregate its numeric outputs.
+
+    ``run_fn`` returns a flat dict of metric name -> value; non-numeric
+    entries are ignored.
+    """
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = run_fn(seed)
+        for name, value in result.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                collected.setdefault(name, []).append(float(value))
+    return {name: AggregateMetric.from_values(vals) for name, vals in collected.items()}
+
+
+def significant_difference(
+    a: AggregateMetric, b: AggregateMetric, overlap_stds: float = 1.0
+) -> bool:
+    """Crude separation test: intervals mean +/- k*std do not overlap."""
+    low_a, high_a = a.mean - overlap_stds * a.std, a.mean + overlap_stds * a.std
+    low_b, high_b = b.mean - overlap_stds * b.std, b.mean + overlap_stds * b.std
+    return high_a < low_b or high_b < low_a

@@ -1,0 +1,21 @@
+"""Deterministic seeding across numpy and the nn initialisers."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.nn import init
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python, numpy's legacy RNG, and the nn initialiser stream.
+
+    Returns a fresh Generator for callers that want local randomness.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    rng = np.random.default_rng(seed)
+    init.set_rng(np.random.default_rng(seed + 1))
+    return rng

@@ -1,0 +1,165 @@
+"""Training loop: chronological walk with per-timestamp updates.
+
+Follows the RE-GCN/HisRES regime: one optimisation step per training
+snapshot, predicting its facts (raw + inverse) from the preceding
+history, then absorbing the snapshot.  Validation tracks time-filtered
+MRR for early stopping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.dataset import TKGDataset
+from repro.nn import Adam, clip_grad_norm_
+from repro.core.window import WindowBuilder
+from repro.training.evaluator import Evaluator
+from repro.training.metrics import RankingResult
+from repro.training.seeding import seed_everything
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    valid_mrrs: List[float] = field(default_factory=list)
+    best_valid_mrr: float = 0.0
+    best_epoch: int = -1
+    wall_time: float = 0.0
+
+
+class Trainer:
+    """Fits any window-consuming TKG model on a dataset.
+
+    The model must expose ``loss(window, queries) -> Tensor``,
+    ``predict_entities(window, queries) -> np.ndarray``,
+    ``parameters()``, ``train()``/``eval()``, and ``zero_grad()``.
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset: TKGDataset,
+        history_length: int = 4,
+        granularity: int = 2,
+        use_global: bool = True,
+        global_max_history: Optional[int] = None,
+        track_vocabulary: bool = False,
+        learning_rate: float = 0.001,
+        grad_clip: float = 1.0,
+        weight_decay: float = 0.0,
+        scheduler_factory: Optional[Callable] = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.dataset = dataset
+        self.seed = seed
+        seed_everything(seed)
+        self.window_builder = WindowBuilder(
+            dataset.num_entities,
+            dataset.num_relations,
+            history_length=history_length,
+            granularity=granularity,
+            use_global=use_global,
+            global_max_history=global_max_history,
+            track_vocabulary=track_vocabulary,
+        )
+        self.optimizer = Adam(model.parameters(), lr=learning_rate, weight_decay=weight_decay)
+        self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
+        self.grad_clip = grad_clip
+        self.evaluator = Evaluator(dataset)
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, max_timestamps: Optional[int] = None) -> float:
+        """One pass over the training timeline; returns mean loss."""
+        self.model.train()
+        builder = self.window_builder
+        builder.reset()
+        losses: List[float] = []
+        items = sorted(self.dataset.train.facts_by_time().items())
+        if max_timestamps is not None:
+            items = items[:max_timestamps]
+        for t, quads in items:
+            queries = self.evaluator.queries_with_inverse(quads)
+            if builder.history_filled:
+                window = builder.window_for(queries, prediction_time=t)
+                self.model.zero_grad()
+                loss = self.model.loss(window, queries)
+                loss.backward()
+                clip_grad_norm_(self.model.parameters(), self.grad_clip)
+                self.optimizer.step()
+                losses.append(loss.item())
+            builder.absorb(quads)
+        return float(np.mean(losses)) if losses else 0.0
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, split: str = "valid", max_timestamps: Optional[int] = None
+    ) -> RankingResult:
+        """Time-filtered metrics on 'valid' or 'test'."""
+        self.model.eval()
+        if split == "valid":
+            warmup = (self.dataset.train,)
+            eval_split = self.dataset.valid
+        elif split == "test":
+            warmup = (self.dataset.train, self.dataset.valid)
+            eval_split = self.dataset.test
+        elif split == "train":
+            warmup = ()
+            eval_split = self.dataset.train
+        else:
+            raise ValueError(f"unknown split {split!r}")
+        return self.evaluator.evaluate_walk(
+            self.model,
+            self.window_builder,
+            eval_split,
+            warmup_splits=warmup,
+            max_timestamps=max_timestamps,
+        )
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        epochs: int = 5,
+        patience: Optional[int] = None,
+        eval_every: int = 1,
+        max_timestamps: Optional[int] = None,
+        verbose: bool = False,
+        callback: Optional[Callable[[int, float, Optional[float]], None]] = None,
+    ) -> TrainResult:
+        """Train with optional early stopping on validation MRR."""
+        result = TrainResult()
+        best_state = None
+        start = time.perf_counter()
+        stale = 0
+        for epoch in range(epochs):
+            loss = self.train_epoch(max_timestamps=max_timestamps)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            result.epoch_losses.append(loss)
+            valid_mrr: Optional[float] = None
+            if (epoch + 1) % eval_every == 0:
+                valid_mrr = self.evaluate("valid", max_timestamps=max_timestamps).mrr
+                result.valid_mrrs.append(valid_mrr)
+                if valid_mrr > result.best_valid_mrr:
+                    result.best_valid_mrr = valid_mrr
+                    result.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+            if verbose:
+                print(f"epoch {epoch}: loss={loss:.4f} valid_mrr={valid_mrr}")
+            if callback is not None:
+                callback(epoch, loss, valid_mrr)
+            if patience is not None and stale > patience:
+                break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        result.wall_time = time.perf_counter() - start
+        return result

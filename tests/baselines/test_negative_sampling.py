@@ -1,0 +1,65 @@
+"""Negative sampling and margin training for translational models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RotatE, DistMult
+from repro.baselines.negative_sampling import corrupt_objects, margin_loss
+from repro.core.window import WindowBuilder
+
+E, R = 10, 3
+
+
+def _window():
+    b = WindowBuilder(E, R, history_length=2, use_global=False)
+    queries = np.array([[0, 0, 1, 0], [2, 1, 3, 0]])
+    return b.window_for(queries, prediction_time=0), queries
+
+
+class TestCorruptObjects:
+    def test_shape(self, rng):
+        queries = np.array([[0, 0, 5, 0]] * 4)
+        negatives = corrupt_objects(queries, E, 3, rng=rng)
+        assert negatives.shape == (4, 3)
+
+    def test_never_equals_true_object(self, rng):
+        queries = np.array([[0, 0, 5, 0]] * 50)
+        negatives = corrupt_objects(queries, E, 4, rng=rng)
+        assert not (negatives == 5).any()
+
+    def test_ids_in_range(self, rng):
+        queries = np.array([[0, 0, 1, 0]] * 20)
+        negatives = corrupt_objects(queries, E, 4, rng=rng)
+        assert negatives.min() >= 0 and negatives.max() < E
+
+
+class TestMarginLoss:
+    def test_scalar_finite(self, rng):
+        model = RotatE(E, R, dim=8)
+        window, queries = _window()
+        loss = margin_loss(model, window, queries, rng=rng)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+        assert loss.item() >= 0
+
+    def test_gradients_flow(self, rng):
+        model = DistMult(E, R, dim=8)
+        window, queries = _window()
+        margin_loss(model, window, queries, rng=rng).backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_training_separates_positives(self, rng):
+        """A few margin steps should score true objects above average."""
+        from repro.nn import Adam
+
+        model = DistMult(E, R, dim=8)
+        opt = Adam(model.parameters(), lr=0.05)
+        window, queries = _window()
+        for _ in range(40):
+            model.zero_grad()
+            loss = margin_loss(model, window, queries, num_negatives=4, rng=rng)
+            loss.backward()
+            opt.step()
+        scores = model.predict_entities(window, queries)
+        for i, q in enumerate(queries):
+            assert scores[i, q[2]] > scores[i].mean()

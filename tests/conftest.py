@@ -1,0 +1,73 @@
+"""Shared fixtures and gradient-checking helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.profiles import DatasetProfile
+from repro.data.synthetic import SyntheticTKGGenerator
+from repro.nn.tensor import Tensor
+from repro.training.seeding import seed_everything
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_everything(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small, fully deterministic TKG shared by integration tests."""
+    profile = DatasetProfile(
+        name="test_tiny",
+        num_entities=25,
+        num_relations=5,
+        num_timestamps=24,
+        facts_per_snapshot=10,
+        time_granularity="1 step",
+        seed=99,
+    )
+    return SyntheticTKGGenerator(profile).generate()
+
+
+def numeric_gradient(fn, tensors, index, eps=1e-6):
+    """Central-difference gradient of scalar fn wrt tensors[index]."""
+    target = tensors[index]
+    grad = np.zeros_like(target.data)
+    for idx in np.ndindex(*(target.shape or (1,))):
+        original = target.data[idx]
+        target.data[idx] = original + eps
+        plus = fn(*[Tensor(t.data) for t in tensors]).item()
+        target.data[idx] = original - eps
+        minus = fn(*[Tensor(t.data) for t in tensors]).item()
+        target.data[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn, *arrays, tol=1e-4):
+    """Assert autograd gradients match finite differences.
+
+    ``fn`` maps Tensors to a Tensor; a sum-of-squares scalarisation is
+    applied automatically for non-scalar outputs.
+    """
+
+    def scalar_fn(*tensors):
+        out = fn(*tensors)
+        return (out * out).sum() if out.size > 1 else out
+
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
+    loss = scalar_fn(*tensors)
+    loss.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numeric_gradient(scalar_fn, tensors, i)
+        assert tensor.grad is not None, f"input {i} got no gradient"
+        np.testing.assert_allclose(
+            tensor.grad, expected, atol=tol, rtol=tol, err_msg=f"gradient mismatch on input {i}"
+        )

@@ -1,0 +1,257 @@
+"""Unit tests for HisRES building blocks (Eqs. 1-14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compgcn import CompGCNLayer, CompGCNStack
+from repro.core.convgat import ConvGATLayer
+from repro.core.gating import SelfGating
+from repro.core.rgat import RGATLayer
+from repro.core.time_encoding import TimeEncoding
+from repro.core.evolution import l2_normalize_rows, relation_entity_pooling
+from repro.graphs.snapshot import SnapshotGraph, build_snapshot
+from repro.nn.tensor import Tensor
+
+D = 8
+E = 6
+R = 4  # doubled space size used directly here
+
+
+def _graph():
+    return SnapshotGraph(
+        src=np.array([0, 1, 2, 0]),
+        rel=np.array([0, 1, 2, 3]),
+        dst=np.array([1, 2, 0, 2]),
+        num_entities=E,
+        num_relations=R,
+    )
+
+
+def _empty_graph():
+    return SnapshotGraph(
+        src=np.zeros(0, dtype=np.int64),
+        rel=np.zeros(0, dtype=np.int64),
+        dst=np.zeros(0, dtype=np.int64),
+        num_entities=E,
+        num_relations=R,
+    )
+
+
+def _embs(rng):
+    return (
+        Tensor(rng.normal(size=(E, D)), requires_grad=True),
+        Tensor(rng.normal(size=(R, D)), requires_grad=True),
+    )
+
+
+class TestTimeEncoding:
+    def test_encode_bounded(self, rng):
+        te = TimeEncoding(D)
+        code = te.encode(4.0)
+        assert code.shape == (D,)
+        assert np.all(np.abs(code.data) <= 1.0)
+
+    def test_forward_shape(self, rng):
+        te = TimeEncoding(D)
+        out = te(Tensor(rng.normal(size=(E, D))), delta=2.0)
+        assert out.shape == (E, D)
+
+    def test_different_deltas_differ(self, rng):
+        te = TimeEncoding(D)
+        x = Tensor(rng.normal(size=(E, D)))
+        a, b = te(x, 1.0), te(x, 5.0)
+        assert not np.allclose(a.data, b.data)
+
+    def test_periodicity_of_code(self):
+        te = TimeEncoding(D)
+        te.weight.data[...] = 2 * np.pi  # period-1 cosine
+        np.testing.assert_allclose(te.encode(0.0).data, te.encode(1.0).data, atol=1e-9)
+
+    def test_gradients_flow(self, rng):
+        te = TimeEncoding(D)
+        x = Tensor(rng.normal(size=(E, D)), requires_grad=True)
+        te(x, 3.0).sum().backward()
+        assert x.grad is not None
+        assert te.weight.grad is not None
+
+
+class TestCompGCN:
+    def test_output_shapes(self, rng):
+        layer = CompGCNLayer(D)
+        e, r = _embs(rng)
+        e2, r2 = layer(e, r, _graph())
+        assert e2.shape == (E, D) and r2.shape == (R, D)
+
+    def test_relation_update_changes_relations(self, rng):
+        layer = CompGCNLayer(D, update_relations=True)
+        e, r = _embs(rng)
+        _, r2 = layer(e, r, _graph())
+        assert not np.allclose(r2.data, r.data)
+
+    def test_no_relation_update_passthrough(self, rng):
+        layer = CompGCNLayer(D, update_relations=False)
+        e, r = _embs(rng)
+        _, r2 = layer(e, r, _graph())
+        np.testing.assert_array_equal(r2.data, r.data)
+
+    def test_empty_graph_self_loop_only(self, rng):
+        layer = CompGCNLayer(D)
+        e, r = _embs(rng)
+        e2, _ = layer(e, r, _empty_graph())
+        assert e2.shape == (E, D)
+
+    def test_isolated_node_only_self_transform(self, rng):
+        """Node 5 has no edges; its output depends only on its own row."""
+        layer = CompGCNLayer(D)
+        layer.eval()
+        e, r = _embs(rng)
+        out1, _ = layer(e, r, _graph())
+        e_mod = Tensor(e.data.copy())
+        e_mod.data[0] += 10.0  # perturb another node
+        out2, _ = layer(e_mod, r, _graph())
+        np.testing.assert_allclose(out1.data[5], out2.data[5])
+
+    def test_message_direction_src_to_dst(self, rng):
+        """Perturbing a source node changes its destination's output."""
+        layer = CompGCNLayer(D)
+        layer.eval()
+        e, r = _embs(rng)
+        out1, _ = layer(e, r, _graph())
+        e_mod = Tensor(e.data.copy())
+        e_mod.data[0] += 1.0  # node 0 -> edges into nodes 1 and 2
+        out2, _ = layer(e_mod, r, _graph())
+        assert not np.allclose(out1.data[1], out2.data[1])
+
+    def test_stack_applies_layers(self, rng):
+        stack = CompGCNStack(D, num_layers=3)
+        e, r = _embs(rng)
+        e2, r2 = stack(e, r, _graph())
+        assert e2.shape == (E, D)
+
+    def test_gradients_reach_embeddings(self, rng):
+        layer = CompGCNLayer(D)
+        e, r = _embs(rng)
+        e2, r2 = layer(e, r, _graph())
+        (e2.sum() + r2.sum()).backward()
+        assert e.grad is not None and r.grad is not None
+
+
+class TestConvGAT:
+    def test_attention_normalised_per_destination(self, rng):
+        layer = ConvGATLayer(D)
+        e, r = _embs(rng)
+        g = _graph()
+        weights = layer.edge_attention(e, r, g)
+        for node in np.unique(g.dst):
+            total = weights.data[g.dst == node].sum()
+            assert total == pytest.approx(1.0)
+
+    def test_output_shape_and_relation_passthrough(self, rng):
+        layer = ConvGATLayer(D)
+        e, r = _embs(rng)
+        e2, r2 = layer(e, r, _graph())
+        assert e2.shape == (E, D)
+        np.testing.assert_array_equal(r2.data, r.data)
+
+    def test_empty_graph(self, rng):
+        layer = ConvGATLayer(D)
+        e, r = _embs(rng)
+        e2, _ = layer(e, r, _empty_graph())
+        assert e2.shape == (E, D)
+
+    def test_gradients_flow_through_attention(self, rng):
+        layer = ConvGATLayer(D)
+        e, r = _embs(rng)
+        e2, _ = layer(e, r, _graph())
+        e2.sum().backward()
+        assert layer.attn_hidden.weight.grad is not None
+        assert layer.conv.weight.grad is not None
+
+    def test_attention_favors_higher_scoring_edge(self, rng):
+        """Monotonicity: boosting one edge's logit raises its weight."""
+        layer = ConvGATLayer(D)
+        layer.eval()
+        e, r = _embs(rng)
+        g = SnapshotGraph(
+            src=np.array([0, 1]), rel=np.array([0, 0]), dst=np.array([2, 2]),
+            num_entities=E, num_relations=R,
+        )
+        w = layer.edge_attention(e, r, g)
+        assert w.data.sum() == pytest.approx(1.0)
+        assert 0 < w.data[0] < 1
+
+
+class TestRGAT:
+    def test_shapes(self, rng):
+        layer = RGATLayer(D)
+        e, r = _embs(rng)
+        e2, r2 = layer(e, r, _graph())
+        assert e2.shape == (E, D)
+        np.testing.assert_array_equal(r2.data, r.data)
+
+    def test_empty_graph(self, rng):
+        layer = RGATLayer(D)
+        e, r = _embs(rng)
+        e2, _ = layer(e, r, _empty_graph())
+        assert e2.shape == (E, D)
+
+
+class TestSelfGating:
+    def test_output_between_inputs_when_enabled(self, rng):
+        gate = SelfGating(D)
+        a = Tensor(np.ones((E, D)))
+        b = Tensor(np.zeros((E, D)))
+        out = gate(a, b)
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+
+    def test_disabled_is_mean(self, rng):
+        gate = SelfGating(D, enabled=False)
+        a = Tensor(np.full((E, D), 4.0))
+        b = Tensor(np.full((E, D), 2.0))
+        np.testing.assert_allclose(gate(a, b).data, 3.0)
+
+    def test_gate_values_shape(self, rng):
+        gate = SelfGating(D)
+        theta = gate.gate_values(Tensor(rng.normal(size=(E, D))))
+        assert theta.shape == (E, D)
+        assert np.all((theta.data > 0) & (theta.data < 1))
+
+    def test_gate_values_disabled_raises(self):
+        with pytest.raises(RuntimeError):
+            SelfGating(D, enabled=False).gate_values(Tensor(np.zeros((E, D))))
+
+    def test_gradients_flow_to_both(self, rng):
+        gate = SelfGating(D)
+        a = Tensor(rng.normal(size=(E, D)), requires_grad=True)
+        b = Tensor(rng.normal(size=(E, D)), requires_grad=True)
+        gate(a, b).sum().backward()
+        assert a.grad is not None and b.grad is not None
+
+
+class TestEvolutionHelpers:
+    def test_l2_normalize_rows(self, rng):
+        x = Tensor(rng.normal(size=(5, D)) * 10)
+        out = l2_normalize_rows(x)
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), 1.0, rtol=1e-6)
+
+    def test_relation_pooling_present_and_fallback(self, rng):
+        e, r = _embs(rng)
+        g = _graph()
+        pooled = relation_entity_pooling(e, g, fallback=r)
+        # relation 0 has one edge with src 0: pooled row = e[0]
+        np.testing.assert_allclose(pooled.data[0], e.data[0])
+        # no relation id > 3 exists in this doubled space of 4; all used
+
+    def test_relation_pooling_empty_graph_is_fallback(self, rng):
+        e, r = _embs(rng)
+        pooled = relation_entity_pooling(e, _empty_graph(), fallback=r)
+        np.testing.assert_array_equal(pooled.data, r.data)
+
+    def test_relation_pooling_mean_of_subjects(self, rng):
+        e, r = _embs(rng)
+        g = SnapshotGraph(
+            src=np.array([0, 1]), rel=np.array([2, 2]), dst=np.array([3, 4]),
+            num_entities=E, num_relations=R,
+        )
+        pooled = relation_entity_pooling(e, g, fallback=r)
+        np.testing.assert_allclose(pooled.data[2], (e.data[0] + e.data[1]) / 2)

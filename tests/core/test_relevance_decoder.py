@@ -1,0 +1,113 @@
+"""GlobalRelevanceEncoder and ConvTransEDecoder unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import ConvTransEDecoder
+from repro.core.relevance import GlobalRelevanceEncoder
+from repro.graphs.snapshot import SnapshotGraph
+from repro.nn.tensor import Tensor
+
+D, E, R = 8, 6, 4
+
+
+def _graph():
+    return SnapshotGraph(
+        src=np.array([0, 1, 2]),
+        rel=np.array([0, 1, 2]),
+        dst=np.array([1, 2, 0]),
+        num_entities=E,
+        num_relations=R,
+    )
+
+
+def _embs(rng):
+    return (
+        Tensor(rng.normal(size=(E, D)), requires_grad=True),
+        Tensor(rng.normal(size=(R, D)), requires_grad=True),
+    )
+
+
+class TestGlobalRelevanceEncoder:
+    @pytest.mark.parametrize("aggregator", ["convgat", "compgcn", "rgat"])
+    def test_aggregators_produce_embeddings(self, rng, aggregator):
+        encoder = GlobalRelevanceEncoder(D, num_layers=2, aggregator=aggregator)
+        e, r = _embs(rng)
+        out = encoder(e, r, _graph())
+        assert out.shape == (E, D)
+        assert np.all(np.isfinite(out.data))
+
+    def test_unknown_aggregator_raises(self):
+        with pytest.raises(ValueError):
+            GlobalRelevanceEncoder(D, aggregator="mlp")
+
+    def test_layer_count_respected(self, rng):
+        one = GlobalRelevanceEncoder(D, num_layers=1)
+        three = GlobalRelevanceEncoder(D, num_layers=3)
+        assert len(list(three.layers)) == 3
+        assert three.num_parameters() > one.num_parameters()
+
+    def test_gradients_reach_inputs(self, rng):
+        encoder = GlobalRelevanceEncoder(D, num_layers=1)
+        e, r = _embs(rng)
+        encoder(e, r, _graph()).sum().backward()
+        assert e.grad is not None and r.grad is not None
+
+    def test_relations_never_updated(self, rng):
+        """Paper §3.4.2: no relation updating in the global encoder."""
+        encoder = GlobalRelevanceEncoder(D, num_layers=2)
+        e, r = _embs(rng)
+        r_before = r.data.copy()
+        encoder(e, r, _graph())
+        np.testing.assert_array_equal(r.data, r_before)
+
+
+class TestConvTransEDecoder:
+    def test_logit_shape(self, rng):
+        decoder = ConvTransEDecoder(D, channels=4)
+        s = Tensor(rng.normal(size=(5, D)))
+        r = Tensor(rng.normal(size=(5, D)))
+        candidates = Tensor(rng.normal(size=(E, D)))
+        assert decoder(s, r, candidates).shape == (5, E)
+
+    def test_query_embedding_dim(self, rng):
+        decoder = ConvTransEDecoder(D, channels=4)
+        fused = decoder.query_embedding(
+            Tensor(rng.normal(size=(3, D))), Tensor(rng.normal(size=(3, D)))
+        )
+        assert fused.shape == (3, D)
+
+    def test_batchnorm_optional(self, rng):
+        with_bn = ConvTransEDecoder(D, channels=4, use_batchnorm=True)
+        without = ConvTransEDecoder(D, channels=4, use_batchnorm=False)
+        assert with_bn.bn is not None and without.bn is None
+        # both run
+        s = Tensor(rng.normal(size=(3, D)))
+        r = Tensor(rng.normal(size=(3, D)))
+        c = Tensor(rng.normal(size=(E, D)))
+        assert with_bn(s, r, c).shape == without(s, r, c).shape
+
+    def test_eval_deterministic_despite_dropout(self, rng):
+        decoder = ConvTransEDecoder(D, channels=4, dropout=0.5)
+        decoder.eval()
+        s = Tensor(rng.normal(size=(2, D)))
+        r = Tensor(rng.normal(size=(2, D)))
+        c = Tensor(rng.normal(size=(E, D)))
+        np.testing.assert_allclose(decoder(s, r, c).data, decoder(s, r, c).data)
+
+    def test_score_depends_on_both_query_parts(self, rng):
+        decoder = ConvTransEDecoder(D, channels=4)
+        decoder.eval()
+        s = Tensor(rng.normal(size=(1, D)))
+        r1 = Tensor(rng.normal(size=(1, D)))
+        r2 = Tensor(rng.normal(size=(1, D)))
+        c = Tensor(rng.normal(size=(E, D)))
+        assert not np.allclose(decoder(s, r1, c).data, decoder(s, r2, c).data)
+
+    def test_gradients_reach_candidates(self, rng):
+        decoder = ConvTransEDecoder(D, channels=4)
+        s = Tensor(rng.normal(size=(2, D)), requires_grad=True)
+        r = Tensor(rng.normal(size=(2, D)))
+        c = Tensor(rng.normal(size=(E, D)), requires_grad=True)
+        decoder(s, r, c).sum().backward()
+        assert s.grad is not None and c.grad is not None

@@ -1,0 +1,129 @@
+"""TKGDataset container, splits, and views."""
+
+import numpy as np
+import pytest
+
+from repro.data import Quadruple, TKGDataset
+from repro.data.dataset import SplitView
+
+
+def _toy_quads():
+    # 10 timestamps, 2 facts each
+    rows = []
+    for t in range(10):
+        rows.append((t % 4, 0, (t + 1) % 4, t))
+        rows.append((3, 1, t % 4, t))
+    return np.array(rows, dtype=np.int64)
+
+
+class TestQuadruple:
+    def test_inverse(self):
+        q = Quadruple(1, 2, 3, 7)
+        inv = q.inverse(num_relations=5)
+        assert inv == Quadruple(3, 7, 1, 7)
+
+    def test_as_tuple(self):
+        assert Quadruple(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+
+class TestTKGDataset:
+    def test_basic_properties(self):
+        ds = TKGDataset(_toy_quads(), num_entities=4, num_relations=2)
+        assert len(ds) == 20
+        assert ds.num_timestamps == 10
+        np.testing.assert_array_equal(ds.timestamps, np.arange(10))
+
+    def test_quads_sorted_by_time(self):
+        quads = _toy_quads()[::-1]  # reversed input
+        ds = TKGDataset(quads, num_entities=4, num_relations=2)
+        assert np.all(np.diff(ds.quads[:, 3]) >= 0)
+
+    def test_entity_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            TKGDataset(np.array([[5, 0, 0, 0]]), num_entities=4, num_relations=2)
+
+    def test_relation_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            TKGDataset(np.array([[0, 3, 0, 0]]), num_entities=4, num_relations=2)
+
+    def test_negative_id_raises(self):
+        with pytest.raises(ValueError):
+            TKGDataset(np.array([[0, 0, -1, 0]]), num_entities=4, num_relations=2)
+
+    def test_chronological_split_boundaries(self):
+        ds = TKGDataset(_toy_quads(), num_entities=4, num_relations=2)
+        train, valid, test = ds.chronological_split()
+        assert train.quads[:, 3].max() < valid.quads[:, 3].min()
+        assert valid.quads[:, 3].max() < test.quads[:, 3].min()
+        assert len(train) + len(valid) + len(test) == len(ds)
+
+    def test_split_never_divides_a_snapshot(self):
+        ds = TKGDataset(_toy_quads(), num_entities=4, num_relations=2)
+        train, valid, test = ds.chronological_split()
+        for a, b in [(train, valid), (valid, test)]:
+            assert set(a.timestamps).isdisjoint(set(b.timestamps))
+
+    def test_split_bad_fractions(self):
+        ds = TKGDataset(_toy_quads(), num_entities=4, num_relations=2)
+        with pytest.raises(ValueError):
+            ds.chronological_split(train=0.9, valid=0.2)
+
+    def test_split_too_few_timestamps(self):
+        quads = np.array([[0, 0, 1, 0], [1, 0, 2, 1]])
+        ds = TKGDataset(quads, num_entities=4, num_relations=2)
+        with pytest.raises(ValueError):
+            ds.chronological_split()
+
+    def test_lazy_split_properties(self):
+        ds = TKGDataset(_toy_quads(), num_entities=4, num_relations=2)
+        assert len(ds.train) > 0 and len(ds.valid) > 0 and len(ds.test) > 0
+
+    def test_add_inverse(self):
+        quads = np.array([[1, 0, 2, 5]])
+        doubled = TKGDataset.add_inverse(quads, num_relations=3)
+        assert doubled.shape == (2, 4)
+        np.testing.assert_array_equal(doubled[1], [2, 3, 1, 5])
+
+    def test_statistics_keys(self):
+        ds = TKGDataset(_toy_quads(), num_entities=4, num_relations=2, name="toy")
+        stats = ds.statistics()
+        assert stats["dataset"] == "toy"
+        assert stats["entities"] == 4
+        assert stats["training_facts"] + stats["validation_facts"] + stats["testing_facts"] == 20
+
+    def test_repetition_ratio_bounds(self, tiny_dataset):
+        ratio = tiny_dataset.repetition_ratio()
+        assert 0.0 <= ratio <= 1.0
+
+    def test_repetition_ratio_all_repeats(self):
+        # same fact at every timestamp -> test facts all repeat
+        quads = np.array([[0, 0, 1, t] for t in range(20)])
+        ds = TKGDataset(quads, num_entities=2, num_relations=1)
+        assert ds.repetition_ratio() == 1.0
+
+
+class TestSplitView:
+    def test_iteration_yields_quadruples(self):
+        view = SplitView(np.array([[0, 1, 2, 3]]))
+        facts = list(view)
+        assert facts == [Quadruple(0, 1, 2, 3)]
+
+    def test_at_time(self):
+        view = SplitView(_toy_quads())
+        at5 = view.at_time(5)
+        assert len(at5) == 2 and np.all(at5[:, 3] == 5)
+
+    def test_at_time_missing_returns_empty(self):
+        view = SplitView(_toy_quads())
+        assert len(view.at_time(99)) == 0
+
+    def test_facts_by_time_partition(self):
+        view = SplitView(_toy_quads())
+        groups = view.facts_by_time()
+        assert set(groups) == set(range(10))
+        assert sum(len(v) for v in groups.values()) == len(view)
+        for t, chunk in groups.items():
+            assert np.all(chunk[:, 3] == t)
+
+    def test_facts_by_time_empty(self):
+        assert SplitView(np.zeros((0, 4))).facts_by_time() == {}

@@ -1,0 +1,53 @@
+"""TSV load/save round-trips and error handling."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, load_tsv, save_tsv
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_facts(self, tmp_path):
+        ds = generate_dataset("unit_tiny")
+        path = str(tmp_path / "tkg.tsv")
+        save_tsv(ds, path)
+        loaded = load_tsv(path, num_entities=ds.num_entities,
+                          num_relations=ds.num_relations)
+        np.testing.assert_array_equal(np.sort(loaded.quads, axis=0),
+                                      np.sort(ds.quads, axis=0))
+
+    def test_name_defaults_to_filename(self, tmp_path):
+        path = str(tmp_path / "my_events.tsv")
+        with open(path, "w") as handle:
+            handle.write("0\t0\t1\t0\n")
+        assert load_tsv(path).name == "my_events"
+
+    def test_vocab_sizes_inferred(self, tmp_path):
+        path = str(tmp_path / "t.tsv")
+        with open(path, "w") as handle:
+            handle.write("0\t2\t7\t0\n")
+        ds = load_tsv(path)
+        assert ds.num_entities == 8
+        assert ds.num_relations == 3
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "t.tsv")
+        with open(path, "w") as handle:
+            handle.write("# header\n\n0\t0\t1\t0\n")
+        assert len(load_tsv(path)) == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = str(tmp_path / "t.tsv")
+        with open(path, "w") as handle:
+            handle.write("0\t0\t1\t0\n0\t0\n")
+        with pytest.raises(ValueError, match=":2"):
+            load_tsv(path)
+
+    def test_granularity_label_carried(self, tmp_path):
+        path = str(tmp_path / "t.tsv")
+        with open(path, "w") as handle:
+            handle.write("0\t0\t1\t0\n")
+        ds = load_tsv(path, time_granularity="15 mins")
+        assert ds.time_granularity == "15 mins"

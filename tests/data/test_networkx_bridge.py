@@ -1,0 +1,63 @@
+"""NetworkX interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data import TKGDataset
+from repro.data.networkx_bridge import (
+    dataset_to_networkx,
+    hub_entities,
+    snapshot_to_networkx,
+    snapshot_topology,
+)
+
+
+@pytest.fixture
+def ds():
+    quads = np.array([
+        [0, 0, 1, 0], [1, 1, 2, 0], [0, 0, 2, 0],
+        [3, 0, 4, 1],
+    ])
+    return TKGDataset(quads, num_entities=6, num_relations=2, name="nx_toy")
+
+
+class TestConversion:
+    def test_snapshot_graph_edges(self, ds):
+        g = snapshot_to_networkx(ds, 0)
+        assert g.number_of_edges() == 3
+        assert g.number_of_nodes() == 6  # all entities present as nodes
+        assert g.graph["timestamp"] == 0
+
+    def test_relation_labels(self, ds):
+        g = snapshot_to_networkx(ds, 0, relation_names=["knows", "visits"])
+        labels = {d["relation"] for _, _, d in g.edges(data=True)}
+        assert labels == {"knows", "visits"}
+
+    def test_dataset_graph_carries_time(self, ds):
+        g = dataset_to_networkx(ds)
+        assert g.number_of_edges() == 4
+        times = {d["time"] for _, _, d in g.edges(data=True)}
+        assert times == {0, 1}
+
+    def test_empty_snapshot(self, ds):
+        g = snapshot_to_networkx(ds, 99)
+        assert g.number_of_edges() == 0
+
+
+class TestTopology:
+    def test_summary_fields(self, ds):
+        topo = snapshot_topology(ds, 0)
+        assert topo["nodes"] == 3
+        assert topo["components"] == 1
+        assert 0 < topo["density"] <= 1
+
+    def test_empty_snapshot_topology(self, ds):
+        topo = snapshot_topology(ds, 99)
+        assert topo["nodes"] == 0 and topo["components"] == 0
+
+    def test_hub_entities_ordered(self, ds):
+        hubs = hub_entities(ds, top_k=3)
+        values = [h["degree_centrality"] for h in hubs]
+        assert values == sorted(values, reverse=True)
+        assert hubs[0]["entity"] in (0, 1, 2)

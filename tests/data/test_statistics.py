@@ -1,0 +1,80 @@
+"""Temporal dataset statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.data import TKGDataset, generate_dataset
+from repro.data.statistics import (
+    _gini,
+    degree_distribution,
+    full_report,
+    pair_object_ambiguity,
+    snapshot_sizes,
+    temporal_drift,
+)
+
+
+class TestSnapshotSizes:
+    def test_counts_per_timestamp(self):
+        quads = np.array([[0, 0, 1, 0], [1, 0, 2, 0], [0, 0, 1, 2]])
+        ds = TKGDataset(quads, num_entities=3, num_relations=1)
+        np.testing.assert_array_equal(snapshot_sizes(ds), [2, 0, 1])
+
+
+class TestDegreeDistribution:
+    def test_keys_and_ranges(self, tiny_dataset):
+        stats = degree_distribution(tiny_dataset)
+        assert 0 <= stats["gini"] <= 1
+        assert 0 < stats["coverage"] <= 1
+        assert stats["top_decile_share"] <= 1
+
+    def test_gini_uniform_is_zero(self):
+        assert _gini(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 100
+        assert _gini(values) > 0.9
+
+    def test_gini_empty(self):
+        assert _gini(np.zeros(0)) == 0.0
+
+
+class TestAmbiguity:
+    def test_counts_distinct_objects(self):
+        quads = np.array([[0, 0, 1, 0], [0, 0, 2, 1], [0, 0, 1, 2], [3, 1, 4, 0]])
+        ds = TKGDataset(quads, num_entities=5, num_relations=2)
+        stats = pair_object_ambiguity(ds)
+        assert stats["num_pairs"] == 2
+        assert stats["max_objects_per_pair"] == 2
+        assert stats["ambiguous_pair_fraction"] == pytest.approx(0.5)
+
+    def test_synthetic_profiles_are_ambiguous(self):
+        ds = generate_dataset("icews14s_small")
+        stats = pair_object_ambiguity(ds)
+        # the frequency-mask oracle must be imperfect by construction
+        assert stats["ambiguous_pair_fraction"] > 0.2
+
+
+class TestDrift:
+    def test_stationary_data_no_drift(self):
+        quads = np.array([[0, 0, 1, t] for t in range(20)])
+        ds = TKGDataset(quads, num_entities=2, num_relations=1)
+        assert temporal_drift(ds, window=5) == 0.0
+
+    def test_full_turnover(self):
+        rows = [[0, 0, 1, t] for t in range(5)] + [[2, 0, 3, t] for t in range(15, 20)]
+        ds = TKGDataset(np.array(rows), num_entities=4, num_relations=1)
+        assert temporal_drift(ds, window=5) == 1.0
+
+    def test_synthetic_profiles_drift(self):
+        ds = generate_dataset("icews14s_small")
+        assert temporal_drift(ds) > 0.3  # regime changes + bursts + hot sets
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, tiny_dataset):
+        report = full_report(tiny_dataset)
+        for key in ("dataset", "repetition_ratio", "snapshot_size_mean",
+                    "temporal_drift", "degree_gini", "pair_num_pairs"):
+            assert key in report

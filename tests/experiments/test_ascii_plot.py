@@ -1,0 +1,41 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, series_figure, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_bars(self):
+        line = sparkline([1, 2, 3, 4])
+        assert list(line) == sorted(line)
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_labels_and_values_rendered(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0])
+        assert "a " in chart and "bb" in chart
+        assert "2.00" in chart
+
+    def test_max_bar_is_full_width(self):
+        chart = bar_chart(["x"], [3.0], width=10)
+        assert "█" * 10 in chart
+
+    def test_no_data(self):
+        assert bar_chart([], []) == "(no data)"
+
+
+class TestSeriesFigure:
+    def test_combines_sparkline_and_bars(self):
+        rows = [{"granularity": 1, "mrr": 30.0}, {"granularity": 2, "mrr": 40.0}]
+        figure = series_figure("t", rows, "granularity")
+        assert "t" in figure and "40.00" in figure

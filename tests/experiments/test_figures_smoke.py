@@ -1,0 +1,28 @@
+"""Figure 5 generators at smoke scale (fast, shapes only)."""
+
+import pytest
+
+from repro.experiments.figure5 import (
+    figure5a_granularity_sensitivity,
+    figure5b_layer_sensitivity,
+)
+
+
+@pytest.fixture(autouse=True)
+def _smoke(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+
+
+class TestFigure5Generators:
+    def test_granularity_series(self):
+        rows = figure5a_granularity_sensitivity(levels=[1, 2], dataset_name="unit_tiny")
+        assert [row["granularity"] for row in rows] == [1, 2]
+        for row in rows:
+            assert 0 <= row["mrr"] <= 100
+            assert row["wall_time_s"] > 0
+
+    def test_layer_series(self):
+        rows = figure5b_layer_sensitivity(layers=[1, 2], dataset_name="unit_tiny")
+        assert [row["num_layers"] for row in rows] == [1, 2]
+        for row in rows:
+            assert 0 <= row["mrr"] <= 100

@@ -1,0 +1,110 @@
+"""Experiment harness: scales, runner, and table generators (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.experiments.runner import (
+    SCALES,
+    BenchScale,
+    RunConfig,
+    epochs_for,
+    format_rows,
+    get_scale,
+    run_model_on_dataset,
+)
+from repro.experiments.table2 import check_table2_shape, table2_dataset_statistics
+from repro.experiments.table3 import PAPER_TABLE3, TABLE3_MODELS, check_table3_shape
+from repro.experiments.table4 import ABLATION_VARIANTS, PAPER_TABLE4, run_variant
+
+
+class TestScales:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert get_scale().name == "default"
+
+    def test_unknown_scale_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(KeyError):
+            get_scale()
+
+    def test_epochs_for_model_classes(self):
+        scale = SCALES["default"]
+        assert epochs_for("hisres", scale) == scale.hisres_epochs
+        assert epochs_for("distmult", scale) == scale.static_epochs
+        assert epochs_for("cygnet", scale) == scale.vocab_epochs
+        assert epochs_for("regcn", scale) == scale.gnn_epochs
+        # tirgn has vocabulary AND recent snapshots -> GNN budget
+        assert epochs_for("tirgn", scale) == scale.gnn_epochs
+
+
+class TestRunner:
+    def test_run_model_row_schema(self, tiny_dataset):
+        config = RunConfig(dim=8, epochs=1, patience=1, max_timestamps=4)
+        row = run_model_on_dataset("distmult", tiny_dataset, config)
+        for key in ("model", "dataset", "mrr", "hits@1", "hits@3", "hits@10", "wall_time_s"):
+            assert key in row
+        assert 0 <= row["mrr"] <= 100
+
+    def test_format_rows(self):
+        rows = [{"model": "X", "mrr": 12.345, "hits@1": 1.0, "hits@3": 2.0, "hits@10": 3.0}]
+        text = format_rows(rows)
+        assert "12.35" in text and "X" in text
+
+
+class TestTable2:
+    def test_statistics_rows(self):
+        rows = table2_dataset_statistics(["unit_tiny"])
+        assert rows[0]["dataset"] == "unit_tiny"
+        assert 0 <= rows[0]["repetition_ratio"] <= 1
+
+    def test_shape_checker_passes_on_real_profiles(self):
+        rows = table2_dataset_statistics()
+        assert check_table2_shape(rows) == []
+
+    def test_shape_checker_flags_violations(self):
+        rows = table2_dataset_statistics()
+        for row in rows:
+            if row["dataset"] == "gdelt_small":
+                row["time_granularity"] = "1 day"
+        assert check_table2_shape(rows)
+
+
+class TestTable3Machinery:
+    def test_paper_table_covers_all_models(self):
+        for dataset, scores in PAPER_TABLE3.items():
+            missing = [m for m in
+                       ("DistMult", "CyGNet", "RE-GCN", "TiRGN", "LogCL", "HisRES")
+                       if m not in scores]
+            assert not missing, (dataset, missing)
+
+    def test_shape_checker_detects_static_win(self):
+        rows = [
+            {"dataset": "d", "model": "ConvE", "mrr": 50.0},
+            {"dataset": "d", "model": "HisRES", "mrr": 40.0},
+        ]
+        problems = check_table3_shape(rows)
+        assert problems  # static beats temporal AND hisres not best
+
+    def test_shape_checker_ok_case(self):
+        rows = [
+            {"dataset": "d", "model": "ConvE", "mrr": 30.0},
+            {"dataset": "d", "model": "RE-GCN", "mrr": 40.0},
+            {"dataset": "d", "model": "HisRES", "mrr": 50.0},
+        ]
+        assert check_table3_shape(rows) == []
+
+
+class TestTable4Machinery:
+    def test_variant_registry_matches_paper(self):
+        assert set(ABLATION_VARIANTS) == set(PAPER_TABLE4["icews14s_small"])
+
+    def test_run_variant_smoke(self, tiny_dataset):
+        row = run_variant("HisRES-w/o-MG", tiny_dataset, dim=8, epochs=1,
+                          patience=1, max_timestamps=4)
+        assert row["model"] == "HisRES-w/o-MG"
+        assert np.isfinite(row["mrr"])

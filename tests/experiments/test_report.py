@@ -1,0 +1,73 @@
+"""Benchmark report parser."""
+
+import pytest
+
+from repro.experiments.report import (
+    find_table,
+    markdown_table,
+    parse_report,
+    summarize_table3,
+    summarize_table4,
+)
+
+SAMPLE = """
+=== Table 3 (icews14s_small) ===
+       model |          mrr |       hits@1
+-------------------------------------------
+    DistMult |        15.44 |        10.91
+      HisRES |        50.48 |        39.57
+SHAPE DEVIATIONS: []
+
+=== Table 4 ablations (icews18_small) ===
+       model |          mrr |       hits@1
+-------------------------------------------
+      HisRES |        37.69 |        26.46
+HisRES-w/o-G |        29.16 |        18.45
+"""
+
+
+@pytest.fixture
+def report_path(tmp_path):
+    path = tmp_path / "report.txt"
+    path.write_text(SAMPLE)
+    return str(path)
+
+
+class TestParseReport:
+    def test_finds_both_tables(self, report_path):
+        tables = parse_report(report_path)
+        assert len(tables) == 2
+
+    def test_rows_parsed_with_headers(self, report_path):
+        tables = parse_report(report_path)
+        rows = tables[0]["rows"]
+        assert rows[0]["model"] == "DistMult"
+        assert rows[0]["mrr"] == "15.44"
+
+    def test_non_table_lines_ignored(self, report_path):
+        tables = parse_report(report_path)
+        for table in tables:
+            for row in table["rows"]:
+                assert "SHAPE" not in str(row.values())
+
+    def test_find_table(self, report_path):
+        tables = parse_report(report_path)
+        assert find_table(tables, "Table 4") is not None
+        assert find_table(tables, "nonexistent") is None
+
+
+class TestSummaries:
+    def test_table3_summary(self, report_path):
+        summary = summarize_table3(parse_report(report_path))
+        assert summary["icews14s_small"]["HisRES"] == pytest.approx(50.48)
+
+    def test_table4_summary(self, report_path):
+        summary = summarize_table4(parse_report(report_path))
+        assert summary["icews18_small"]["HisRES-w/o-G"] == pytest.approx(29.16)
+
+    def test_markdown_rendering(self):
+        text = markdown_table(
+            [{"model": "X", "mrr": 1.0}], columns=["model", "mrr"]
+        )
+        assert text.splitlines()[0] == "| model | mrr |"
+        assert "| X | 1.0 |" in text

@@ -1,0 +1,56 @@
+"""Runner behaviour details: history overrides, scale budgets."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.experiments.runner import RunConfig, run_model_on_dataset
+
+
+class TestHistoryOverride:
+    def test_hisres_gets_longer_window(self, tiny_dataset, monkeypatch):
+        """HisRES runs with history >= 4 even when the shared config
+        says 2 (the inter-snapshot merge needs material)."""
+        captured = {}
+
+        from repro.training import Trainer as RealTrainer
+
+        class SpyTrainer(RealTrainer):
+            def __init__(self, model, dataset, **kwargs):
+                captured["history_length"] = kwargs.get("history_length")
+                super().__init__(model, dataset, **kwargs)
+
+        monkeypatch.setattr("repro.experiments.runner.Trainer", SpyTrainer)
+        config = RunConfig(dim=8, history_length=2, epochs=1, patience=1, max_timestamps=3)
+        run_model_on_dataset("hisres", tiny_dataset, config)
+        assert captured["history_length"] == 4
+
+    def test_other_models_keep_config_window(self, tiny_dataset, monkeypatch):
+        captured = {}
+        from repro.training import Trainer as RealTrainer
+
+        class SpyTrainer(RealTrainer):
+            def __init__(self, model, dataset, **kwargs):
+                captured["history_length"] = kwargs.get("history_length")
+                super().__init__(model, dataset, **kwargs)
+
+        monkeypatch.setattr("repro.experiments.runner.Trainer", SpyTrainer)
+        config = RunConfig(dim=8, history_length=2, epochs=1, patience=1, max_timestamps=3)
+        run_model_on_dataset("regcn", tiny_dataset, config)
+        assert captured["history_length"] == 2
+
+
+class TestRowContents:
+    def test_paper_reference_attached_when_known(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        from repro.experiments.table3 import table3_main_results
+
+        rows = table3_main_results(datasets=["icews14s_small"], models=["distmult"])
+        assert rows[0]["paper_mrr"] == pytest.approx(15.44)
+
+    def test_metrics_scaled_to_percent(self, tiny_dataset):
+        config = RunConfig(dim=8, epochs=1, patience=1, max_timestamps=3)
+        row = run_model_on_dataset("distmult", tiny_dataset, config)
+        assert 0 <= row["mrr"] <= 100
+        assert 0 <= row["hits@10"] <= 100
+        assert row["hits@1"] <= row["hits@10"]

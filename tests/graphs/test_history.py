@@ -1,0 +1,61 @@
+"""Historical vocabulary (CyGNet/TiRGN/CENET substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import HistoryVocabulary
+
+
+def _vocab():
+    return HistoryVocabulary(num_entities=6, num_relations=4)
+
+
+class TestSeenMask:
+    def test_mask_marks_seen_objects(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0], [0, 1, 3, 0]]))
+        mask = v.seen_mask(np.array([0]), np.array([1]))
+        np.testing.assert_array_equal(mask[0], [0, 0, 1, 1, 0, 0])
+
+    def test_mask_zero_for_unseen_pair(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0]]))
+        mask = v.seen_mask(np.array([5]), np.array([3]))
+        assert mask.sum() == 0
+
+    def test_mask_batched(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0], [1, 2, 4, 0]]))
+        mask = v.seen_mask(np.array([0, 1]), np.array([1, 2]))
+        assert mask[0, 2] == 1 and mask[1, 4] == 1
+        assert mask.sum() == 2
+
+    def test_accumulates_over_snapshots(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0]]))
+        v.add_snapshot(np.array([[0, 1, 4, 1]]))
+        mask = v.seen_mask(np.array([0]), np.array([1]))
+        assert mask[0, 2] == 1 and mask[0, 4] == 1
+
+
+class TestCounts:
+    def test_count_matrix_frequencies(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0]]))
+        v.add_snapshot(np.array([[0, 1, 2, 1]]))
+        v.add_snapshot(np.array([[0, 1, 3, 2]]))
+        counts = v.count_matrix(np.array([0]), np.array([1]))
+        assert counts[0, 2] == 2
+        assert counts[0, 3] == 1
+
+    def test_reset_clears(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0]]))
+        v.reset()
+        assert v.num_pairs == 0
+        assert v.count_matrix(np.array([0]), np.array([1])).sum() == 0
+
+    def test_num_pairs(self):
+        v = _vocab()
+        v.add_snapshot(np.array([[0, 1, 2, 0], [3, 2, 1, 0]]))
+        assert v.num_pairs == 2

@@ -1,0 +1,73 @@
+"""Relation line graph (RETIA/RPC substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.line_graph import build_line_graph, relation_cooccurrence_counts
+from repro.graphs.snapshot import SnapshotGraph
+
+
+def _graph(triples, num_entities=6, num_relations=4):
+    arr = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+    return SnapshotGraph(
+        src=arr[:, 0], rel=arr[:, 1], dst=arr[:, 2],
+        num_entities=num_entities, num_relations=num_relations,
+    )
+
+
+class TestBuildLineGraph:
+    def test_sequential_composition_edge(self):
+        # (a, r0, b), (b, r1, c): b is tail of r0 and head of r1 -> mode 2
+        g = _graph([(0, 0, 1), (1, 1, 2)])
+        line = build_line_graph(g)
+        triples = set(map(tuple, line.triples()))
+        assert (0, 2, 1) in triples  # r0 -(tail-head)-> r1
+
+    def test_shared_subject_edge(self):
+        # (a, r0, b), (a, r1, c): both relations head at a -> mode 0, both ways
+        g = _graph([(0, 0, 1), (0, 1, 2)])
+        line = build_line_graph(g)
+        triples = set(map(tuple, line.triples()))
+        assert (0, 0, 1) in triples and (1, 0, 0) in triples
+
+    def test_shared_object_edge(self):
+        g = _graph([(0, 0, 2), (1, 1, 2)])
+        line = build_line_graph(g)
+        triples = set(map(tuple, line.triples()))
+        assert (0, 1, 1) in triples and (1, 1, 0) in triples
+
+    def test_no_self_pairs(self):
+        g = _graph([(0, 0, 1), (2, 0, 3)])
+        line = build_line_graph(g)
+        assert all(s != d for s, d in zip(line.src, line.dst))
+
+    def test_disconnected_relations_unlinked(self):
+        g = _graph([(0, 0, 1), (2, 1, 3)])  # no shared entity
+        line = build_line_graph(g)
+        assert line.num_edges == 0
+
+    def test_empty_graph(self):
+        g = _graph(np.zeros((0, 3)))
+        line = build_line_graph(g)
+        assert line.num_edges == 0
+
+    def test_node_space_is_relation_space(self):
+        g = _graph([(0, 0, 1)], num_relations=7)
+        line = build_line_graph(g)
+        assert line.num_entities == 7
+        assert line.num_relations == 3
+
+    def test_deduplicated(self):
+        # the same relation pair co-occurring at two entities -> one edge
+        g = _graph([(0, 0, 1), (0, 1, 2), (3, 0, 4), (3, 1, 5)])
+        line = build_line_graph(g)
+        triples = list(map(tuple, line.triples()))
+        assert len(triples) == len(set(triples))
+
+
+class TestCooccurrenceCounts:
+    def test_counts_shape_and_symmetry_mode0(self):
+        g = _graph([(0, 0, 1), (0, 1, 2)])
+        counts = relation_cooccurrence_counts(g)
+        assert counts.shape == (4, 4)
+        assert counts[0, 1] == counts[1, 0] == 1.0

@@ -1,0 +1,123 @@
+"""Snapshot graph construction and degree accounting."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import SnapshotGraph, build_snapshot, merge_snapshots
+from repro.graphs.merge import windowed_merges
+
+
+def _quads():
+    return np.array(
+        [
+            [0, 0, 1, 5],
+            [1, 1, 2, 5],
+            [0, 0, 2, 5],
+        ]
+    )
+
+
+class TestBuildSnapshot:
+    def test_inverse_edges_added(self):
+        g = build_snapshot(_quads(), num_entities=3, num_relations=2)
+        assert g.num_edges == 6
+        assert g.num_relations == 4  # doubled
+        # inverse of (0, 0, 1) is (1, 2, 0)
+        triples = set(map(tuple, g.triples()))
+        assert (0, 0, 1) in triples and (1, 2, 0) in triples
+
+    def test_without_inverse(self):
+        g = build_snapshot(_quads(), num_entities=3, num_relations=2, add_inverse=False)
+        assert g.num_edges == 3
+        assert g.num_relations == 2
+
+    def test_empty_quads(self):
+        g = build_snapshot(np.zeros((0, 4)), num_entities=3, num_relations=2)
+        assert g.num_edges == 0
+        assert len(g.timestamps) == 0
+
+    def test_timestamps_recorded(self):
+        g = build_snapshot(_quads(), num_entities=3, num_relations=2)
+        np.testing.assert_array_equal(g.timestamps, [5])
+
+    def test_parallel_array_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotGraph(
+                src=np.array([0]), rel=np.array([0, 1]), dst=np.array([1]),
+                num_entities=2, num_relations=2,
+            )
+
+
+class TestDegrees:
+    def test_in_degree(self):
+        g = build_snapshot(_quads(), num_entities=3, num_relations=2, add_inverse=False)
+        np.testing.assert_array_equal(g.in_degree(), [0, 1, 2])
+
+    def test_in_degree_norm_per_edge(self):
+        g = build_snapshot(_quads(), num_entities=3, num_relations=2, add_inverse=False)
+        norm = g.in_degree_norm()
+        # edges into node 2 get 1/2, edge into node 1 gets 1
+        by_dst = {int(d): n for d, n in zip(g.dst, norm)}
+        assert by_dst[1] == pytest.approx(1.0)
+        assert by_dst[2] == pytest.approx(0.5)
+
+    def test_zero_degree_guard(self):
+        g = SnapshotGraph(
+            src=np.array([0]), rel=np.array([0]), dst=np.array([1]),
+            num_entities=5, num_relations=2,
+        )
+        norm = g.in_degree_norm()
+        assert np.all(np.isfinite(norm))
+
+    def test_active_nodes(self):
+        g = build_snapshot(_quads(), num_entities=10, num_relations=2)
+        np.testing.assert_array_equal(g.active_nodes(), [0, 1, 2])
+
+
+class TestMerge:
+    def test_merge_unions_facts(self):
+        a = np.array([[0, 0, 1, 3]])
+        b = np.array([[1, 0, 2, 4]])
+        g = merge_snapshots([a, b], num_entities=3, num_relations=1)
+        assert g.num_edges == 4  # 2 facts + inverses
+
+    def test_merge_deduplicates_repeated_triples(self):
+        a = np.array([[0, 0, 1, 3]])
+        b = np.array([[0, 0, 1, 4]])  # same triple, later time
+        g = merge_snapshots([a, b], num_entities=2, num_relations=1)
+        assert g.num_edges == 2  # 1 unique fact + inverse
+
+    def test_merge_empty_list(self):
+        g = merge_snapshots([], num_entities=3, num_relations=1)
+        assert g.num_edges == 0
+
+    def test_windowed_merges_count(self):
+        snaps = [np.array([[0, 0, 1, t]]) for t in range(5)]
+        merged = windowed_merges(snaps, 2, 1, granularity=2)
+        assert len(merged) == 4
+
+    def test_windowed_merges_fewer_than_window(self):
+        snaps = [np.array([[0, 0, 1, 0]])]
+        merged = windowed_merges(snaps, 2, 1, granularity=3)
+        assert len(merged) == 1
+
+    def test_windowed_merges_granularity_one(self):
+        snaps = [np.array([[0, 0, 1, t]]) for t in range(3)]
+        merged = windowed_merges(snaps, 2, 1, granularity=1)
+        assert len(merged) == 3
+
+    def test_windowed_merges_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            windowed_merges([], 2, 1, granularity=0)
+
+    def test_windowed_merges_empty(self):
+        assert windowed_merges([], 2, 1) == []
+
+    def test_merged_window_spans_both_snapshots(self):
+        a = np.array([[0, 0, 1, 3]])
+        b = np.array([[1, 0, 2, 4]])
+        merged = windowed_merges([a, b], 3, 1, granularity=2)
+        assert len(merged) == 1
+        # 2-hop path 0 -> 1 -> 2 exists in the merged graph
+        triples = set(map(tuple, merged[0].triples()))
+        assert (0, 0, 1) in triples and (1, 0, 2) in triples

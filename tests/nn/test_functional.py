@@ -1,0 +1,125 @@
+"""Tests for functional ops: softmax family, dropout, segment softmax."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradients
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_stability_large_logits(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_grad(self, rng):
+        check_gradients(lambda a: F.softmax(a), rng.normal(size=(3, 4)))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_log_softmax_grad(self, rng):
+        check_gradients(lambda a: F.log_softmax(a), rng.normal(size=(2, 6)))
+
+    def test_axis_argument(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(3, 4))), axis=0)
+        np.testing.assert_allclose(out.data.sum(axis=0), np.ones(4))
+
+
+class TestSegmentSoftmax:
+    def test_normalises_per_segment(self, rng):
+        scores = Tensor(rng.normal(size=7), requires_grad=True)
+        segments = np.array([0, 0, 1, 1, 1, 2, 2])
+        out = F.segment_softmax(scores, segments, 3)
+        for seg in range(3):
+            assert out.data[segments == seg].sum() == pytest.approx(1.0)
+
+    def test_empty_segment_ok(self, rng):
+        scores = Tensor(rng.normal(size=3))
+        out = F.segment_softmax(scores, np.array([0, 0, 2]), 4)
+        assert out.data[:2].sum() == pytest.approx(1.0)
+        assert out.data[2] == pytest.approx(1.0)
+
+    def test_grad(self, rng):
+        segments = np.array([0, 0, 1, 1, 1])
+        check_gradients(
+            lambda s: F.segment_softmax(s, segments, 2), rng.normal(size=5)
+        )
+
+    def test_stable_with_large_scores(self):
+        out = F.segment_softmax(Tensor([500.0, 500.0]), np.array([0, 0]), 1)
+        np.testing.assert_allclose(out.data, [0.5, 0.5])
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, p=0.5, training=False)
+        assert out is x
+
+    def test_identity_when_p_zero(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        assert F.dropout(x, p=0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, p=0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), p=1.0, training=True)
+
+
+class TestRReLU:
+    def test_eval_uses_midpoint(self):
+        out = F.rrelu(Tensor([-8.0, 8.0]), lower=0.25, upper=0.25, training=False)
+        np.testing.assert_allclose(out.data, [-2.0, 8.0])
+
+    def test_train_slope_within_bounds(self, rng):
+        x = Tensor(-np.ones(1000))
+        out = F.rrelu(x, lower=0.1, upper=0.3, training=True, rng=rng)
+        slopes = -out.data
+        assert slopes.min() >= 0.1 and slopes.max() <= 0.3
+
+    def test_positive_passthrough(self, rng):
+        x = Tensor(np.abs(rng.normal(size=20)) + 0.1)
+        out = F.rrelu(x, training=True, rng=rng)
+        np.testing.assert_allclose(out.data, x.data)
+
+
+class TestMisc:
+    def test_linear_matches_manual(self, rng):
+        x, w, b = rng.normal(size=(3, 4)), rng.normal(size=(5, 4)), rng.normal(size=5)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_embedding_lookup(self, rng):
+        w = rng.normal(size=(6, 3))
+        out = F.embedding(Tensor(w), np.array([5, 0]))
+        np.testing.assert_allclose(out.data, w[[5, 0]])
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_preserves_shape(self):
+        out = F.one_hot(np.array([[0, 1], [2, 0]]), 3)
+        assert out.shape == (2, 2, 3)
+
+    def test_cosine_time_encoding_range(self, rng):
+        w, b = Tensor(rng.normal(size=8)), Tensor(rng.normal(size=8))
+        out = F.cosine_time_encoding(3.5, w, b)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_mean_pool(self, rng):
+        x = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(F.mean_pool(Tensor(x)).data, x.mean(axis=0))

@@ -1,0 +1,38 @@
+"""The public gradcheck utility itself."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import gradcheck, numeric_gradient
+from repro.nn.tensor import Tensor
+
+
+class TestGradcheck:
+    def test_passes_on_correct_op(self, rng):
+        assert gradcheck(lambda a, b: a @ b, rng.normal(size=(3, 4)), rng.normal(size=(4, 2)))
+
+    def test_fails_on_wrong_gradient(self, rng):
+        # an op with a deliberately broken backward
+        def broken(a: Tensor) -> Tensor:
+            out_data = a.data * 2.0
+
+            def backward(grad):
+                out._send(a, grad * 3.0)  # wrong: should be 2.0
+
+            out = Tensor._make(out_data, (a,), backward)
+            return out
+
+        with pytest.raises(AssertionError):
+            gradcheck(broken, rng.normal(size=(2, 2)))
+
+    def test_detects_missing_gradient(self, rng):
+        with pytest.raises(AssertionError, match="gradient"):
+            gradcheck(lambda a: Tensor(a.data * 2.0), rng.normal(size=(2,)))
+
+    def test_numeric_gradient_of_square(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        grad = numeric_gradient(lambda a: (a * a).sum(), [x], 0)
+        assert grad[0] == pytest.approx(6.0, rel=1e-5)
+
+    def test_scalar_output_supported(self, rng):
+        assert gradcheck(lambda a: a.sum(), rng.normal(size=(3, 3)))

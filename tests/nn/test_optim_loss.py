@@ -1,0 +1,182 @@
+"""Optimiser and loss-function tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.module import Parameter
+from repro.nn.optim import clip_grad_norm_
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradients
+
+
+def _make_regression(rng, n=64):
+    X = rng.normal(size=(n, 3))
+    y = X @ np.array([1.0, -2.0, 0.5]) + 0.3
+    return X, y
+
+
+class TestSGD:
+    def test_plain_sgd_descends(self, rng):
+        X, y = _make_regression(rng)
+        lin = nn.Linear(3, 1)
+        opt = nn.SGD(lin.parameters(), lr=0.1)
+        first = None
+        for _ in range(100):
+            opt.zero_grad()
+            loss = ((lin(Tensor(X)).reshape(len(X)) - Tensor(y)) ** 2).mean()
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.05
+
+    def test_momentum_accelerates(self, rng):
+        X, y = _make_regression(rng)
+
+        def run(momentum):
+            nn.init.set_rng(np.random.default_rng(0))
+            lin = nn.Linear(3, 1)
+            opt = nn.SGD(lin.parameters(), lr=0.02, momentum=momentum)
+            for _ in range(40):
+                opt.zero_grad()
+                loss = ((lin(Tensor(X)).reshape(len(X)) - Tensor(y)) ** 2).mean()
+                loss.backward()
+                opt.step()
+            return loss.item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.ones(4) * 10)
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(4)
+        opt.step()
+        assert np.all(p.data < 10)
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(1))], lr=0)
+
+
+class TestAdam:
+    def test_converges_linear_regression(self, rng):
+        X, y = _make_regression(rng)
+        lin = nn.Linear(3, 1)
+        opt = nn.Adam(lin.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ((lin(Tensor(X)).reshape(len(X)) - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-4
+        np.testing.assert_allclose(lin.weight.data[0], [1.0, -2.0, 0.5], atol=1e-2)
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        opt = nn.Adam([p1, p2], lr=0.1)
+        p1.grad = np.ones(2)
+        opt.step()
+        assert np.all(p1.data != 0)
+        assert np.all(p2.data == 0)
+
+    def test_first_step_size_near_lr(self):
+        # Adam's bias correction makes the first step ~lr * sign(grad)
+        p = Parameter(np.zeros(1))
+        opt = nn.Adam([p], lr=0.01)
+        p.grad = np.array([5.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+
+class TestClipGradNorm:
+    def test_clips_when_exceeding(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10  # norm 20
+        returned = clip_grad_norm_([p], max_norm=1.0)
+        assert returned == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])  # norm 0.5
+        clip_grad_norm_([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_ignores_gradless_params(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm_([p], 1.0) == 0.0
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 3, 2, 1])
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[np.arange(4), targets]).mean()
+        got = nn.cross_entropy(Tensor(logits), targets).item()
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_cross_entropy_grad(self, rng):
+        targets = np.array([1, 0, 2])
+        check_gradients(
+            lambda l: nn.cross_entropy(l, targets), rng.normal(size=(3, 4))
+        )
+
+    def test_cross_entropy_reductions(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        targets = np.array([0, 1, 2, 0])
+        total = nn.cross_entropy(logits, targets, reduction="sum").item()
+        mean = nn.cross_entropy(logits, targets, reduction="mean").item()
+        per = nn.cross_entropy(logits, targets, reduction="none")
+        assert total == pytest.approx(mean * 4)
+        assert per.shape == (4,)
+
+    def test_nll_loss_requires_2d(self):
+        with pytest.raises(ValueError):
+            nn.nll_loss(Tensor(np.zeros(3)), np.array([0]))
+
+    def test_unknown_reduction_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(rng.normal(size=(2, 2))), np.array([0, 1]), reduction="max")
+
+    def test_bce_with_logits_matches_manual(self, rng):
+        logits = rng.normal(size=(6,))
+        targets = (rng.random(6) > 0.5).astype(float)
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        got = nn.binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_stable_with_extreme_logits(self):
+        loss = nn.binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_bce_grad(self, rng):
+        targets = np.array([1.0, 0.0, 1.0])
+        check_gradients(
+            lambda l: nn.binary_cross_entropy_with_logits(l, targets),
+            rng.normal(size=(3,)) + 0.05,
+        )
+
+    def test_classification_end_to_end(self, rng):
+        # two separable gaussian blobs
+        X = np.concatenate([rng.normal(size=(40, 2)) + 2, rng.normal(size=(40, 2)) - 2])
+        y = np.array([0] * 40 + [1] * 40)
+        lin = nn.Linear(2, 2)
+        opt = nn.Adam(lin.parameters(), lr=0.05)
+        for _ in range(80):
+            opt.zero_grad()
+            loss = nn.cross_entropy(lin(Tensor(X)), y)
+            loss.backward()
+            opt.step()
+        preds = lin(Tensor(X)).data.argmax(axis=1)
+        assert (preds == y).mean() > 0.95

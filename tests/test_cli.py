@@ -1,0 +1,72 @@
+"""CLI commands (fast paths only; table/figure commands are bench-scale)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ["generate", "stats", "train", "table2", "table3",
+                        "table4", "figure5", "mechanisms"]:
+            assert command in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_validates_model_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "not_a_model", "unit_tiny"])
+
+
+class TestCommands:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = str(tmp_path / "data.tsv")
+        assert main(["generate", "unit_tiny", out]) == 0
+        assert os.path.exists(out)
+        capsys.readouterr()
+        assert main(["stats", out]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entities"] > 0
+
+    def test_stats_profile_name(self, capsys):
+        assert main(["stats", "unit_tiny"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["dataset"] == "unit_tiny"
+
+    def test_train_fast(self, capsys):
+        code = main([
+            "train", "distmult", "unit_tiny",
+            "--dim", "8", "--epochs", "1", "--patience", "1",
+        ])
+        assert code == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["model"] == "DistMult"
+        assert 0 <= row["mrr"] <= 100
+
+
+class TestNewCommands:
+    def test_forecast_fast(self, capsys):
+        code = main([
+            "forecast", "distmult", "unit_tiny", "0", "0",
+            "--dim", "8", "--epochs", "1", "--patience", "1", "--top-k", "3",
+        ])
+        assert code == 0
+        predictions = json.loads(capsys.readouterr().out)
+        assert len(predictions) == 3
+        assert predictions[0]["rank"] == 1
+
+    def test_degradation_fast(self, capsys):
+        code = main([
+            "degradation", "distmult", "unit_tiny",
+            "--dim", "8", "--epochs", "1", "--patience", "1",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "history_dependence" in summary

@@ -1,0 +1,58 @@
+"""Example scripts: importability always; full runs behind an env flag.
+
+Running every example end-to-end takes minutes of training; set
+``REPRO_RUN_EXAMPLES=1`` to exercise them fully (CI nightly style).
+The default suite still verifies each script parses and has a main().
+"""
+
+import ast
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+RUN_FULL = os.environ.get("REPRO_RUN_EXAMPLES") == "1"
+
+
+class TestExamplesStatic:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 4
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_parses_and_has_main(self, name):
+        path = os.path.join(EXAMPLES_DIR, name)
+        tree = ast.parse(open(path).read(), filename=name)
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions, f"{name} must define main()"
+        # every example must be runnable as a script
+        has_guard = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", "") == "__name__"
+            for node in tree.body
+        )
+        assert has_guard, f"{name} missing __main__ guard"
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_docstring_present(self, name):
+        path = os.path.join(EXAMPLES_DIR, name)
+        tree = ast.parse(open(path).read())
+        assert ast.get_docstring(tree), f"{name} needs a module docstring"
+
+
+@pytest.mark.skipif(not RUN_FULL, reason="set REPRO_RUN_EXAMPLES=1 to run examples end-to-end")
+class TestExamplesRun:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_runs_clean(self, name):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+            capture_output=True,
+            text=True,
+            timeout=900,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.core import HisRES, HisRESConfig
+from repro.data import generate_dataset
+from repro.training import Trainer
+
+
+class TestHisRESEndToEnd:
+    def test_training_beats_random_baseline(self, tiny_dataset):
+        """After a few epochs HisRES must clearly beat chance.
+
+        With |E| = 25, a random scorer's filtered MRR is around
+        sum(1/k)/25 ~ 0.15; we require comfortably above that.
+        """
+        cfg = HisRESConfig(embedding_dim=16, history_length=2, decoder_channels=4)
+        model = HisRES(tiny_dataset.num_entities, tiny_dataset.num_relations, cfg)
+        trainer = Trainer(model, tiny_dataset, history_length=2,
+                          learning_rate=0.01, seed=0)
+        trainer.fit(epochs=6, patience=5)
+        assert trainer.evaluate("test").mrr > 0.25
+
+    def test_global_encoder_contributes(self, tiny_dataset):
+        """Full HisRES should not be worse than w/o-GH by a wide margin
+        (the Table 4 direction, with tolerance for tiny-data noise)."""
+        def run(use_global):
+            cfg = HisRESConfig(embedding_dim=16, history_length=2,
+                               decoder_channels=4, use_global=use_global)
+            model = HisRES(tiny_dataset.num_entities, tiny_dataset.num_relations, cfg)
+            trainer = Trainer(model, tiny_dataset, history_length=2,
+                              use_global=use_global, learning_rate=0.01, seed=1)
+            trainer.fit(epochs=6, patience=5)
+            return trainer.evaluate("test").mrr
+
+        assert run(True) > run(False) - 0.1
+
+    def test_state_dict_roundtrip_preserves_predictions(self, tiny_dataset):
+        cfg = HisRESConfig(embedding_dim=8, history_length=2, decoder_channels=4)
+        model = HisRES(tiny_dataset.num_entities, tiny_dataset.num_relations, cfg)
+        trainer = Trainer(model, tiny_dataset, history_length=2, seed=0)
+        trainer.train_epoch()
+        state = model.state_dict()
+        before = trainer.evaluate("test").mrr
+        clone = HisRES(tiny_dataset.num_entities, tiny_dataset.num_relations, cfg)
+        clone.load_state_dict(state)
+        trainer2 = Trainer(clone, tiny_dataset, history_length=2, seed=0)
+        after = trainer2.evaluate("test").mrr
+        assert before == pytest.approx(after)
+
+
+class TestCrossModelContract:
+    """Trainer must be able to fit every registered model end to end."""
+
+    @pytest.mark.parametrize("key", ["distmult", "cygnet", "regcn", "logcl"])
+    def test_one_epoch_roundtrip(self, tiny_dataset, key):
+        from repro.baselines import MODEL_REGISTRY
+
+        spec = MODEL_REGISTRY[key]
+        model = build_model(key, tiny_dataset.num_entities,
+                            tiny_dataset.num_relations, dim=8)
+        trainer = Trainer(model, tiny_dataset, history_length=2,
+                          use_global=spec.requirements.global_graph,
+                          track_vocabulary=spec.requirements.vocabulary,
+                          learning_rate=0.01, seed=0)
+        loss = trainer.train_epoch()
+        assert np.isfinite(loss)
+        result = trainer.evaluate("valid")
+        assert 0 <= result.mrr <= 1
+
+
+class TestDatasetModelCompatibility:
+    def test_all_profiles_feed_hisres(self):
+        """Every built-in profile must produce data HisRES can consume."""
+        for name in ["icews14s_small", "gdelt_small"]:
+            ds = generate_dataset(name)
+            cfg = HisRESConfig(embedding_dim=8, history_length=2, decoder_channels=4)
+            model = HisRES(ds.num_entities, ds.num_relations, cfg)
+            trainer = Trainer(model, ds, history_length=2, seed=0)
+            loss = trainer.train_epoch(max_timestamps=4)
+            assert np.isfinite(loss)
+
+
+class TestTopLevelImports:
+    def test_lazy_conveniences(self):
+        import repro
+
+        assert repro.HisRES is not None
+        assert repro.Trainer is not None
+        assert callable(repro.generate_dataset)
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_lists_conveniences(self):
+        import repro
+
+        listing = dir(repro)
+        assert "HisRES" in listing and "build_model" in listing

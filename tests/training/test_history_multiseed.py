@@ -1,0 +1,97 @@
+"""TrainingHistory records and multi-seed aggregation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    AggregateMetric,
+    EpochRecord,
+    TrainingHistory,
+    run_seeds,
+    significant_difference,
+)
+
+
+class TestTrainingHistory:
+    def test_callback_collects_records(self):
+        history = TrainingHistory()
+        history.callback(0, 2.5, 0.3)
+        history.callback(1, 2.0, 0.4)
+        assert len(history) == 2
+        assert history.losses() == [2.5, 2.0]
+
+    def test_best_epoch(self):
+        history = TrainingHistory()
+        history.callback(0, 2.5, 0.3)
+        history.callback(1, 2.0, 0.5)
+        history.callback(2, 1.9, 0.4)
+        assert history.best_epoch == 1
+
+    def test_best_epoch_none_without_validation(self):
+        history = TrainingHistory()
+        history.callback(0, 2.5, None)
+        assert history.best_epoch is None
+
+    def test_csv_roundtrip(self, tmp_path):
+        history = TrainingHistory()
+        history.callback(0, 2.5, 0.3)
+        path = str(tmp_path / "run.csv")
+        history.to_csv(path)
+        content = open(path).read()
+        assert "epoch" in content and "2.5" in content
+
+    def test_json_export(self, tmp_path):
+        history = TrainingHistory()
+        history.append(EpochRecord(epoch=0, train_loss=1.0, valid_mrr=0.2,
+                                   learning_rate=0.01, wall_time_s=3.2))
+        path = str(tmp_path / "run.json")
+        history.to_json(path)
+        rows = json.loads(open(path).read())
+        assert rows[0]["learning_rate"] == 0.01
+
+    def test_integrates_with_trainer(self, tiny_dataset):
+        from repro.baselines import build_model
+        from repro.training import Trainer
+
+        model = build_model("distmult", tiny_dataset.num_entities,
+                            tiny_dataset.num_relations, dim=8)
+        trainer = Trainer(model, tiny_dataset, history_length=2,
+                          use_global=False, seed=0)
+        history = TrainingHistory()
+        trainer.fit(epochs=2, callback=history.callback)
+        assert len(history) == 2
+
+
+class TestAggregateMetric:
+    def test_from_values(self):
+        agg = AggregateMetric.from_values([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.min == 1.0 and agg.max == 3.0
+        assert agg.std == pytest.approx(1.0)
+
+    def test_single_value_zero_std(self):
+        agg = AggregateMetric.from_values([5.0])
+        assert agg.std == 0.0
+
+    def test_str_format(self):
+        text = str(AggregateMetric.from_values([1.0, 1.0]))
+        assert "+/-" in text
+
+
+class TestRunSeeds:
+    def test_aggregates_numeric_outputs(self):
+        def run(seed):
+            return {"mrr": 0.4 + seed * 0.01, "name": "x", "flag": True}
+
+        result = run_seeds(run, seeds=(1, 2, 3))
+        assert "mrr" in result and "name" not in result and "flag" not in result
+        assert result["mrr"].mean == pytest.approx(0.42)
+
+    def test_significant_difference(self):
+        a = AggregateMetric.from_values([0.40, 0.41, 0.42])
+        b = AggregateMetric.from_values([0.60, 0.61, 0.62])
+        c = AggregateMetric.from_values([0.41, 0.43, 0.42])
+        assert significant_difference(a, b)
+        assert not significant_difference(a, c)

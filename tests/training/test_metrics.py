@@ -1,0 +1,92 @@
+"""Time-aware filtered ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import (
+    RankingResult,
+    filtered_ranks,
+    hits_at,
+    mrr,
+    summarize_ranks,
+)
+
+
+class TestBasicMetrics:
+    def test_mrr_values(self):
+        assert mrr(np.array([1, 2, 4])) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_mrr_empty(self):
+        assert mrr(np.array([])) == 0.0
+
+    def test_hits_at(self):
+        ranks = np.array([1, 3, 11])
+        assert hits_at(ranks, 1) == pytest.approx(1 / 3)
+        assert hits_at(ranks, 3) == pytest.approx(2 / 3)
+        assert hits_at(ranks, 10) == pytest.approx(2 / 3)
+        assert hits_at(ranks, 11) == pytest.approx(1.0)
+
+    def test_hits_empty(self):
+        assert hits_at(np.array([]), 10) == 0.0
+
+
+class TestFilteredRanks:
+    def test_rank_is_one_plus_strictly_greater(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.3]])
+        queries = np.array([[0, 0, 2]])  # target entity 2, score 0.5
+        ranks = filtered_ranks(scores, queries, {})
+        assert ranks[0] == 2  # only entity 1 scores higher
+
+    def test_target_top_gets_rank_one(self):
+        scores = np.array([[0.1, 0.2, 0.9]])
+        ranks = filtered_ranks(scores, np.array([[0, 0, 2]]), {})
+        assert ranks[0] == 1
+
+    def test_time_filter_removes_other_true_answers(self):
+        scores = np.array([[0.9, 0.8, 0.1]])
+        queries = np.array([[5, 1, 2]])  # target entity 2, lowest score
+        # without filtering rank would be 3
+        time_filter = {(5, 1): {0, 1, 2}}  # 0 and 1 are also true at t
+        ranks = filtered_ranks(scores, queries, time_filter)
+        assert ranks[0] == 1
+
+    def test_filter_does_not_remove_target_itself(self):
+        scores = np.array([[0.9, 0.1]])
+        queries = np.array([[0, 0, 0]])
+        time_filter = {(0, 0): {0}}
+        ranks = filtered_ranks(scores, queries, time_filter)
+        assert ranks[0] == 1
+
+    def test_filter_only_applies_to_matching_pair(self):
+        scores = np.array([[0.9, 0.8, 0.1]])
+        queries = np.array([[5, 1, 2]])
+        time_filter = {(9, 9): {0, 1}}  # different pair: no effect
+        ranks = filtered_ranks(scores, queries, time_filter)
+        assert ranks[0] == 3
+
+    def test_ties_count_as_not_greater(self):
+        scores = np.array([[0.5, 0.5, 0.5]])
+        ranks = filtered_ranks(scores, np.array([[0, 0, 1]]), {})
+        assert ranks[0] == 1
+
+    def test_batch_processing(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        queries = np.array([[0, 0, 0], [0, 0, 0]])
+        ranks = filtered_ranks(scores, queries, {})
+        np.testing.assert_array_equal(ranks, [1, 2])
+
+
+class TestRankingResult:
+    def test_as_dict(self):
+        result = RankingResult(np.array([1, 2, 10]))
+        d = result.as_dict()
+        assert d["num_queries"] == 3
+        assert d["mrr"] == pytest.approx(mrr(np.array([1, 2, 10])))
+        assert d["hits@10"] == pytest.approx(1.0)
+
+    def test_summarize_merges(self):
+        merged = summarize_ranks([np.array([1, 2]), np.array([3])])
+        assert len(merged.ranks) == 3
+
+    def test_summarize_empty(self):
+        assert len(summarize_ranks([]).ranks) == 0
