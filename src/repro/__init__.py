@@ -13,6 +13,8 @@ Top-level layout:
   on the same substrate.
 - :mod:`repro.training` — trainer, time-aware filtered evaluation.
 - :mod:`repro.experiments` — regenerate every table/figure of the paper.
+- :mod:`repro.serving` — online inference: streaming ingestion,
+  micro-batched top-k prediction, stdlib HTTP/CLI frontend.
 """
 
 __version__ = "1.0.0"
@@ -28,6 +30,8 @@ _TOP_LEVEL = {
     "TKGDataset": ("repro.data", "TKGDataset"),
     "build_model": ("repro.baselines", "build_model"),
     "MODEL_REGISTRY": ("repro.baselines", "MODEL_REGISTRY"),
+    "InferenceEngine": ("repro.serving", "InferenceEngine"),
+    "OnlineHistoryStore": ("repro.serving", "OnlineHistoryStore"),
 }
 
 

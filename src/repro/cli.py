@@ -5,7 +5,11 @@ Commands:
 - ``generate``  — write a synthetic dataset profile to TSV;
 - ``stats``     — Table 2-style statistics of a profile or TSV file;
 - ``train``     — train any registered model on a profile/TSV and
-  report time-filtered test metrics;
+  report time-filtered test metrics (``--save`` checkpoints it);
+- ``eval``      — evaluate a saved checkpoint on a dataset split;
+- ``serve``     — run the online inference HTTP server from a checkpoint;
+- ``ingest``    — stream events to a running server;
+- ``predict``   — top-k query against a running server (or offline);
 - ``table2|table3|table4|figure5`` — regenerate a paper artifact;
 - ``mechanisms``— per-mechanism capability profile of a model.
 """
@@ -54,8 +58,134 @@ def cmd_train(args) -> int:
         learning_rate=args.lr,
         seed=args.seed,
     )
-    row = run_model_on_dataset(args.model, dataset, config)
+    row = run_model_on_dataset(args.model, dataset, config, save_path=args.save)
     print(json.dumps(row, indent=2, default=float))
+    return 0
+
+
+def cmd_eval(args) -> int:
+    """Evaluate a checkpointed model on a dataset split (no training)."""
+    from repro.baselines import build_model
+    from repro.core.window import WindowBuilder
+    from repro.nn.serialization import read_checkpoint_metadata, load_checkpoint
+    from repro.training import Evaluator
+
+    dataset = _load_dataset(args)
+    meta = read_checkpoint_metadata(args.load_checkpoint)
+    if "model" not in meta:
+        raise SystemExit(
+            f"checkpoint {args.load_checkpoint!r} has no serving metadata; "
+            "re-save it with `repro.cli train --save`"
+        )
+    model = build_model(
+        meta["model"], int(meta["num_entities"]), int(meta["num_relations"]),
+        dim=int(meta.get("dim", 32)),
+    )
+    load_checkpoint(model, args.load_checkpoint)
+    model.eval()
+    window = meta.get("window") or {}
+    builder = WindowBuilder(
+        dataset.num_entities,
+        dataset.num_relations,
+        history_length=int(window.get("history_length", args.history_length)),
+        granularity=int(window.get("granularity", 2)),
+        use_global=bool(window.get("use_global", True)),
+        track_vocabulary=bool(window.get("track_vocabulary", False)),
+    )
+    evaluator = Evaluator(dataset)
+    if args.split == "test":
+        warmup, split = (dataset.train, dataset.valid), dataset.test
+    else:
+        warmup, split = (dataset.train,), dataset.valid
+    result = evaluator.evaluate_walk(model, builder, split, warmup_splits=warmup)
+    print(json.dumps({
+        "model": meta.get("model_name", meta["model"]),
+        "checkpoint": args.load_checkpoint,
+        "dataset": dataset.name,
+        "split": args.split,
+        "mrr": result.mrr * 100,
+        "hits@1": result.hits(1) * 100,
+        "hits@3": result.hits(3) * 100,
+        "hits@10": result.hits(10) * 100,
+    }, indent=2, default=float))
+    return 0
+
+
+def _build_engine(args):
+    """Shared serve/predict path: checkpoint -> warmed-up engine."""
+    from repro.serving import InferenceEngine
+
+    engine = InferenceEngine.from_checkpoint(
+        args.checkpoint,
+        cache_entries=args.cache_entries,
+        batch_window_s=args.batch_window_ms / 1e3,
+    )
+    if args.warmup:
+        if args.warmup.endswith(".tsv"):
+            from repro.data import load_tsv
+
+            warmup_dataset = load_tsv(args.warmup)
+        else:
+            warmup_dataset = generate_dataset(args.warmup)
+        for split_name in args.warmup_splits.split(","):
+            split_name = split_name.strip()
+            if split_name:
+                engine.store.warm_up(getattr(warmup_dataset, split_name))
+    return engine
+
+
+def cmd_serve(args) -> int:
+    from repro.serving import create_server
+
+    engine = _build_engine(args)
+    server = create_server(engine, host=args.host, port=args.port, verbose=args.verbose)
+    print(f"serving {engine.model_key} at {server.url}  (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.serving import ServingClient
+
+    if (args.tsv is None) == (args.events is None):
+        raise SystemExit("provide exactly one of --tsv or --events")
+    if args.tsv is not None:
+        import numpy as np
+
+        rows = np.loadtxt(args.tsv, dtype=int, delimiter="\t", ndmin=2).tolist()
+    else:
+        rows = json.loads(args.events)
+    client = ServingClient(args.url)
+    result = client.ingest(rows, timestamp=args.timestamp, flush=args.flush)
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    if (args.url is None) == (args.checkpoint is None):
+        raise SystemExit("provide exactly one of --url or --checkpoint")
+    if args.url is not None:
+        from repro.serving import ServingClient
+
+        result = ServingClient(args.url).predict(
+            args.subject, args.relation, top_k=args.top_k, inverse=args.inverse
+        )
+    else:
+        engine = _build_engine(args)
+        result = {
+            "subject": args.subject,
+            "relation": args.relation,
+            "inverse": args.inverse,
+            "predictions": engine.predict(
+                args.subject, args.relation, top_k=args.top_k, inverse=args.inverse
+            ),
+        }
+    print(json.dumps(result, indent=2))
     return 0
 
 
@@ -223,7 +353,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--history-length", type=int, default=2)
     p.add_argument("--lr", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--save", default=None, metavar="PATH",
+                   help="checkpoint the trained model (weights + serving metadata)")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("eval", help="evaluate a saved checkpoint (no training)")
+    p.add_argument("dataset", help="profile name or .tsv path")
+    p.add_argument("--load-checkpoint", required=True, metavar="PATH",
+                   help="checkpoint written by `train --save`")
+    p.add_argument("--split", choices=["valid", "test"], default="test")
+    p.add_argument("--history-length", type=int, default=2,
+                   help="fallback window length for metadata-less checkpoints")
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("serve", help="run the online inference HTTP server")
+    p.add_argument("checkpoint", help="checkpoint written by `train --save`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8420)
+    p.add_argument("--warmup", default=None,
+                   help="profile name or .tsv to replay as history before serving")
+    p.add_argument("--warmup-splits", default="train,valid",
+                   help="comma-separated splits to replay (default: train,valid)")
+    p.add_argument("--cache-entries", type=int, default=4096)
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch coalescing window (0 disables the wait)")
+    p.add_argument("--verbose", action="store_true", help="log every request")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("ingest", help="stream events to a running server")
+    p.add_argument("--url", required=True, help="server base URL")
+    p.add_argument("--tsv", default=None, help="4-column TSV of quadruples")
+    p.add_argument("--events", default=None,
+                   help='JSON list of [s, r, o] or [s, r, o, t] rows')
+    p.add_argument("--timestamp", type=int, default=None)
+    p.add_argument("--flush", action="store_true",
+                   help="seal the open snapshot so it is queryable immediately")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("predict", help="top-k objects for one (s, r, ?) query")
+    p.add_argument("subject", type=int)
+    p.add_argument("relation", type=int)
+    p.add_argument("--url", default=None, help="query a running server")
+    p.add_argument("--checkpoint", default=None,
+                   help="offline mode: load this checkpoint locally")
+    p.add_argument("--warmup", default=None,
+                   help="offline mode: profile/.tsv history to replay")
+    p.add_argument("--warmup-splits", default="train,valid")
+    p.add_argument("--cache-entries", type=int, default=4096)
+    p.add_argument("--batch-window-ms", type=float, default=0.0)
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--inverse", action="store_true",
+                   help="rank subjects of (?, r, o) instead")
+    p.set_defaults(func=cmd_predict)
 
     for name in ("table2", "table3", "table4"):
         p = sub.add_parser(name, help=f"regenerate {name}")

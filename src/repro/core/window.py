@@ -158,3 +158,13 @@ class WindowBuilder:
     def history_filled(self) -> bool:
         """Whether at least one snapshot of history exists."""
         return len(self._recent_quads) > 0
+
+    @property
+    def num_window_snapshots(self) -> int:
+        """How many snapshots the rolling window currently holds (<= l)."""
+        return len(self._recent_graphs)
+
+    @property
+    def global_builder(self) -> GlobalGraphBuilder:
+        """The incremental global-relevance index (for diagnostics)."""
+        return self._global

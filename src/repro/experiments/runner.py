@@ -84,13 +84,17 @@ def run_model_on_dataset(
     key: str,
     dataset: TKGDataset,
     config: Optional[RunConfig] = None,
+    save_path: Optional[str] = None,
     **model_kwargs,
 ) -> Dict[str, object]:
     """Train + evaluate one registry model; return a metrics row.
 
     Returns a dict with ``model``, ``dataset``, time-filtered test
     metrics (scaled by 100 like the paper), the best validation MRR,
-    and the wall time.
+    and the wall time.  When ``save_path`` is given, the trained model
+    is checkpointed there with everything the serving layer needs to
+    rebuild it (registry key, vocabulary sizes, window configuration,
+    metrics) — see :meth:`repro.serving.InferenceEngine.from_checkpoint`.
     """
     config = config or RunConfig()
     spec = MODEL_REGISTRY[key]
@@ -100,12 +104,13 @@ def run_model_on_dataset(
     # needs several snapshots to merge); sweeps showed l=4 vs l=2 for
     # the single-granularity GNN baselines at this scale
     history_length = max(config.history_length, 4) if key == "hisres" else config.history_length
+    use_global = key in ("hisres", "logcl")
     trainer = Trainer(
         model,
         dataset,
         history_length=history_length,
         granularity=config.granularity,
-        use_global=key in ("hisres", "logcl"),
+        use_global=use_global,
         track_vocabulary=spec.requirements.vocabulary,
         learning_rate=config.learning_rate,
         seed=config.seed,
@@ -116,7 +121,7 @@ def run_model_on_dataset(
         max_timestamps=config.max_timestamps,
     )
     result = trainer.evaluate("test", max_timestamps=config.max_timestamps)
-    return {
+    row = {
         "model": spec.name,
         "dataset": dataset.name,
         "mrr": result.mrr * 100,
@@ -127,6 +132,34 @@ def run_model_on_dataset(
         "best_epoch": fit.best_epoch,
         "wall_time_s": fit.wall_time,
     }
+    if save_path is not None:
+        from repro.nn.serialization import save_checkpoint
+
+        metadata = {
+            "format": 1,
+            "model": key,
+            "model_name": spec.name,
+            "dataset": dataset.name,
+            "num_entities": dataset.num_entities,
+            "num_relations": dataset.num_relations,
+            "dim": config.dim,
+            "window": {
+                "history_length": history_length,
+                "granularity": config.granularity,
+                "use_global": use_global,
+                "track_vocabulary": bool(spec.requirements.vocabulary),
+            },
+            "train_config": {
+                "learning_rate": config.learning_rate,
+                "epochs": config.epochs,
+                "patience": config.patience,
+                "seed": config.seed,
+            },
+            "metrics": {k: (float(v) if isinstance(v, float) else v) for k, v in row.items()},
+        }
+        save_checkpoint(model, save_path, metadata=metadata)
+        row["checkpoint"] = save_path
+    return row
 
 
 def format_rows(rows, columns=("model", "mrr", "hits@1", "hits@3", "hits@10")) -> str:

@@ -35,7 +35,12 @@ from repro.nn.loss import (
     binary_cross_entropy_with_logits,
     nll_loss,
 )
-from repro.nn.serialization import save_checkpoint, load_checkpoint
+from repro.nn.serialization import (
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint_metadata,
+    save_checkpoint,
+)
 
 __all__ = [
     "Tensor",
@@ -75,4 +80,6 @@ __all__ = [
     "nll_loss",
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_metadata",
+    "CheckpointError",
 ]

@@ -1,0 +1,40 @@
+"""Online inference: streaming ingestion, micro-batched top-k serving.
+
+The offline stack (``repro.training``) replays a frozen timeline; this
+package serves *live* extrapolation traffic from a trained checkpoint:
+
+- :class:`OnlineHistoryStore` — streaming quadruple ingestion over the
+  rolling ``l``-snapshot window + incremental global-relevance index;
+- :class:`InferenceEngine` — checkpoint loading, LRU-cached and
+  micro-batched ``predict_entities`` calls, top-k extraction;
+- :func:`create_server` / :class:`ServingServer` — stdlib JSON-over-
+  HTTP frontend (``/ingest``, ``/predict``, ``/health``, ``/stats``);
+- :class:`ServingClient` — urllib client (used by ``repro.cli``).
+
+Quickstart::
+
+    python -m repro.cli train hisres unit_tiny --save model.npz
+    python -m repro.cli serve model.npz --warmup unit_tiny --port 8420
+    python -m repro.cli predict --url http://127.0.0.1:8420 3 1 --top-k 5
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.engine import InferenceEngine, MicroBatcher
+from repro.serving.server import ServingServer, create_server, serve_in_thread
+from repro.serving.stats import EndpointStats, ServerStats
+from repro.serving.store import OnlineHistoryStore
+
+__all__ = [
+    "EndpointStats",
+    "InferenceEngine",
+    "LRUCache",
+    "MicroBatcher",
+    "OnlineHistoryStore",
+    "ServerStats",
+    "ServingClient",
+    "ServingError",
+    "ServingServer",
+    "create_server",
+    "serve_in_thread",
+]

@@ -1,0 +1,73 @@
+"""Bounded LRU cache for prediction score vectors.
+
+The engine keys entries on ``(model, subject, relation, window_version)``
+so a cached score vector can never outlive the history it was computed
+from: every snapshot rollover bumps the store's ``window_version`` and
+all earlier keys become unreachable (and age out of the LRU order).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class LRUCache:
+    """Thread-safe least-recently-used cache with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Return ``(found, value)``; a hit refreshes recency."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return True, self._data[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            size = len(self._data)
+        return {
+            "entries": size,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

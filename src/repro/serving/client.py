@@ -1,0 +1,100 @@
+"""Tiny urllib client for the serving frontend (used by the CLI).
+
+Keeps the repo dependency-free: everything speaks the JSON schemas of
+:mod:`repro.serving.server` over stdlib ``urllib``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+
+class ServingError(RuntimeError):
+    """The server answered with an error status (body included)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServingClient:
+    """Blocking JSON client for one serving endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = exc.reason
+            raise ServingError(exc.code, detail) from exc
+        except urllib.error.URLError as exc:
+            raise ServingError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")
+
+    def ingest(
+        self,
+        events: Sequence[Sequence[int]],
+        timestamp: Optional[int] = None,
+        flush: bool = False,
+    ) -> Dict:
+        """Send (n, 3) triples with a timestamp, or (n, 4) quads."""
+        rows = [list(map(int, row)) for row in events]
+        widths = {len(row) for row in rows}
+        if widths == {4} and timestamp is None:
+            body: Dict = {"quads": rows}
+        elif widths == {3}:
+            if timestamp is None:
+                raise ValueError("timestamp is required for (s, r, o) triples")
+            body = {"events": rows, "timestamp": int(timestamp)}
+        elif widths == {4}:
+            body = {"events": [row[:3] for row in rows], "timestamp": int(timestamp)}
+        else:
+            raise ValueError("events must be uniformly (s, r, o) or (s, r, o, t)")
+        if flush:
+            body["flush"] = True
+        return self._request("POST", "/ingest", body)
+
+    def predict(
+        self,
+        subject: int,
+        relation: int,
+        top_k: int = 10,
+        inverse: bool = False,
+    ) -> Dict:
+        return self._request(
+            "POST",
+            "/predict",
+            {
+                "subject": int(subject),
+                "relation": int(relation),
+                "top_k": int(top_k),
+                "inverse": bool(inverse),
+            },
+        )
+
+    def predict_many(self, queries: List[Dict], top_k: int = 10) -> Dict:
+        return self._request("POST", "/predict", {"queries": queries, "top_k": int(top_k)})

@@ -1,0 +1,312 @@
+"""Online inference engine: checkpoint in, micro-batched top-k out.
+
+:class:`InferenceEngine` glues a registered model to an
+:class:`~repro.serving.store.OnlineHistoryStore` and adds the two
+things a server needs that the offline stack does not have:
+
+- a **prediction cache** — score vectors keyed on ``(model, s, r,
+  window_version)``; a hit skips the forward pass entirely and the key
+  scheme makes every entry self-invalidating on snapshot rollover;
+- a **micro-batcher** — concurrent ``predict`` calls from the threaded
+  HTTP frontend coalesce into *one* ``predict_entities`` forward pass
+  (the per-query cost of a forward pass is dominated by the shared
+  graph encoding, so batching is nearly free throughput).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.serialization import load_checkpoint, read_checkpoint_metadata
+from repro.serving.cache import LRUCache
+from repro.serving.store import OnlineHistoryStore
+
+
+class _BatchItem:
+    """One in-flight query inside the micro-batcher."""
+
+    __slots__ = ("pair", "scores", "error", "ready")
+
+    def __init__(self, pair: Tuple[int, int]):
+        self.pair = pair
+        self.scores: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.ready = False
+
+
+class MicroBatcher:
+    """Coalesce concurrent score requests into one batched execution.
+
+    The first thread to find no active leader becomes the leader: it
+    waits ``window_s`` for followers to enqueue, drains the queue, and
+    runs ``execute(pairs) -> {pair: scores}`` once for the whole batch.
+    Followers block until their item is published (or a new leader
+    election picks them up).
+    """
+
+    def __init__(self, execute, window_s: float = 0.002, max_batch: int = 1024):
+        self._execute = execute
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._cv = threading.Condition()
+        self._queue: List[_BatchItem] = []
+        self._leader_active = False
+        self.batches = 0
+        self.batched_queries = 0
+        self.max_batch_size = 0
+
+    def submit(self, pair: Tuple[int, int]) -> np.ndarray:
+        item = _BatchItem(pair)
+        with self._cv:
+            self._queue.append(item)
+            while not item.ready and self._leader_active:
+                self._cv.wait(timeout=0.05)
+            if item.ready:
+                if item.error is not None:
+                    raise item.error
+                return item.scores
+            self._leader_active = True
+        # --- leader path (lock released so followers can enqueue) ---
+        if self.window_s > 0:
+            time.sleep(self.window_s)
+        with self._cv:
+            batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch :]
+        try:
+            results = self._execute([b.pair for b in batch])
+            for b in batch:
+                b.scores = results[b.pair]
+                b.ready = True
+        except BaseException as exc:  # propagate to every waiter
+            for b in batch:
+                b.error = exc
+                b.ready = True
+        finally:
+            with self._cv:
+                self._leader_active = False
+                self.batches += 1
+                self.batched_queries += len(batch)
+                self.max_batch_size = max(self.max_batch_size, len(batch))
+                self._cv.notify_all()
+        if item.error is not None:
+            raise item.error
+        return item.scores
+
+    def stats(self) -> Dict[str, object]:
+        mean = self.batched_queries / self.batches if self.batches else 0.0
+        return {
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": round(mean, 3),
+            "window_ms": self.window_s * 1e3,
+        }
+
+
+class InferenceEngine:
+    """Serve top-k object predictions for ``(s, r, ?, t)`` queries.
+
+    Args:
+        model: any model exposing ``predict_entities(window, queries)``.
+        store: the online history state (shared with ingestion).
+        model_key: registry key, used in cache keys and ``/stats``.
+        cache_entries: LRU capacity (0 disables caching).
+        batch_window_s: how long a micro-batch leader waits for
+            followers; 0 batches only what is already queued.
+    """
+
+    def __init__(
+        self,
+        model,
+        store: OnlineHistoryStore,
+        model_key: str = "model",
+        cache_entries: int = 4096,
+        batch_window_s: float = 0.002,
+        metadata: Optional[Dict] = None,
+    ):
+        self.model = model
+        self.store = store
+        self.model_key = model_key
+        self.metadata = dict(metadata or {})
+        self.cache = LRUCache(max_entries=cache_entries)
+        self._batcher = MicroBatcher(self._execute_batch, window_s=batch_window_s)
+        self._model_lock = threading.Lock()
+        self._predict_calls = 0
+        self._queries_served = 0
+        if hasattr(self.model, "eval"):
+            self.model.eval()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        cache_entries: int = 4096,
+        batch_window_s: float = 0.002,
+        **overrides,
+    ) -> "InferenceEngine":
+        """Build model + store from a ``repro.cli train --save`` checkpoint.
+
+        The checkpoint metadata must carry ``model`` (registry key),
+        ``num_entities``, ``num_relations``, and ``dim``; the ``window``
+        sub-dict restores the training-time window configuration.
+        ``overrides`` replace individual window keys (e.g.
+        ``history_length=8``).
+        """
+        from repro.baselines import build_model
+
+        meta = read_checkpoint_metadata(path)
+        required = ("model", "num_entities", "num_relations")
+        missing = [key for key in required if key not in meta]
+        if missing:
+            raise ValueError(
+                f"checkpoint {path!r} lacks serving metadata {missing}; "
+                "re-save it with `repro.cli train --save` or pass a metadata "
+                "dict with model/num_entities/num_relations"
+            )
+        model_key = meta["model"]
+        model = build_model(
+            model_key,
+            int(meta["num_entities"]),
+            int(meta["num_relations"]),
+            dim=int(meta.get("dim", 32)),
+        )
+        load_checkpoint(model, path)
+        window = dict(meta.get("window") or {})
+        window.update(overrides)
+        store = OnlineHistoryStore(
+            int(meta["num_entities"]),
+            int(meta["num_relations"]),
+            history_length=int(window.get("history_length", 2)),
+            granularity=int(window.get("granularity", 2)),
+            use_global=bool(window.get("use_global", True)),
+            track_vocabulary=bool(window.get("track_vocabulary", False)),
+            global_max_history=window.get("global_max_history"),
+        )
+        return cls(
+            model,
+            store,
+            model_key=model_key,
+            cache_entries=cache_entries,
+            batch_window_s=batch_window_s,
+            metadata=meta,
+        )
+
+    # ------------------------------------------------------------------
+    def ingest(self, events, timestamp: Optional[int] = None) -> Dict[str, object]:
+        """Stream events into the history store."""
+        return self.store.ingest(events, timestamp=timestamp)
+
+    def flush(self) -> bool:
+        """Seal the open snapshot so it becomes visible to predictions."""
+        return self.store.flush()
+
+    # ------------------------------------------------------------------
+    def _execute_batch(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """One forward pass for every distinct uncached (s, r) pair."""
+        version = self.store.window_version
+        results: Dict[Tuple[int, int], np.ndarray] = {}
+        todo: List[Tuple[int, int]] = []
+        for pair in dict.fromkeys(pairs):  # dedup, keep order
+            found, scores = self.cache.get((self.model_key,) + pair + (version,))
+            if found:
+                results[pair] = scores
+            else:
+                todo.append(pair)
+        if todo:
+            queries = np.zeros((len(todo), 4), dtype=np.int64)
+            for i, (s, r) in enumerate(todo):
+                queries[i, 0] = s
+                queries[i, 1] = r
+            with self._model_lock:
+                window = self.store.window_for(queries)
+                scores = np.asarray(self.model.predict_entities(window, queries))
+                self._predict_calls += 1
+            for i, pair in enumerate(todo):
+                results[pair] = scores[i]
+                self.cache.put((self.model_key,) + pair + (version,), scores[i])
+        return results
+
+    def _checked_pair(self, subject: int, relation: int, inverse: bool) -> Tuple[int, int]:
+        """Validate and map to the doubled relation space."""
+        subject, relation = int(subject), int(relation)
+        rel = relation + self.store.num_relations if inverse else relation
+        if not (0 <= subject < self.store.num_entities):
+            raise ValueError(f"subject {subject} out of range")
+        if not (0 <= rel < 2 * self.store.num_relations):
+            raise ValueError(f"relation {relation} out of range")
+        return subject, rel
+
+    @staticmethod
+    def _top_k(scores: np.ndarray, top_k: int) -> List[Dict[str, object]]:
+        k = max(1, min(int(top_k), len(scores)))
+        top = np.argpartition(scores, -k)[-k:]
+        top = top[np.argsort(scores[top])[::-1]]
+        return [
+            {"entity": int(e), "score": float(scores[e]), "rank": i + 1}
+            for i, e in enumerate(top)
+        ]
+
+    def scores_for(self, subject: int, relation: int, inverse: bool = False) -> np.ndarray:
+        """Full score vector over entities (cache + micro-batch path)."""
+        pair = self._checked_pair(subject, relation, inverse)
+        self._queries_served += 1
+        return self._batcher.submit(pair)
+
+    def predict(
+        self,
+        subject: int,
+        relation: int,
+        top_k: int = 10,
+        inverse: bool = False,
+    ) -> List[Dict[str, object]]:
+        """Top-k objects for one ``(s, r, ?)`` query.
+
+        ``inverse=True`` asks for subjects of ``(?, r, subject)`` via
+        the doubled relation space.  Concurrent callers coalesce into
+        one forward pass through the micro-batcher.
+        """
+        return self._top_k(self.scores_for(subject, relation, inverse), top_k)
+
+    def predict_many(self, queries: Sequence[Dict], default_top_k: int = 10) -> List[Dict]:
+        """Answer a list of query dicts with ONE batched forward pass.
+
+        Each query: ``{"subject": s, "relation": r, "top_k"?: k,
+        "inverse"?: bool}``.  The whole list is deduplicated and scored
+        in a single ``predict_entities`` call (modulo cache hits).
+        """
+        parsed = [
+            (
+                self._checked_pair(q["subject"], q["relation"], bool(q.get("inverse", False))),
+                int(q.get("top_k", default_top_k)),
+                q,
+            )
+            for q in queries
+        ]
+        self._queries_served += len(parsed)
+        score_map = self._execute_batch([pair for pair, _, _ in parsed])
+        return [
+            {
+                "subject": int(q["subject"]),
+                "relation": int(q["relation"]),
+                "inverse": bool(q.get("inverse", False)),
+                "predictions": self._top_k(score_map[pair], k),
+            }
+            for pair, k, q in parsed
+        ]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "model": self.model_key,
+            "queries_served": self._queries_served,
+            "predict_calls": self._predict_calls,
+            "cache": self.cache.stats(),
+            "batching": self._batcher.stats(),
+            "store": self.store.stats(),
+        }

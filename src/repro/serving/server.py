@@ -1,0 +1,216 @@
+"""Dependency-free JSON-over-HTTP frontend on stdlib ``http.server``.
+
+Routes (see ``docs/serving.md`` for full request/response schemas):
+
+- ``GET  /health``  — liveness + model identity.
+- ``GET  /stats``   — per-endpoint latency percentiles / throughput,
+  engine cache + batching counters, store state.
+- ``POST /ingest``  — stream events; ``{"events": [[s, r, o], ...],
+  "timestamp": t}`` or ``{"quads": [[s, r, o, t], ...]}``; optional
+  ``"flush": true`` seals the open snapshot immediately.
+- ``POST /predict`` — one query (``subject``/``relation``/``top_k``/
+  ``inverse`` fields) or many (``{"queries": [...]}``, answered by one
+  batched forward pass).
+
+The server is a ``ThreadingHTTPServer``: concurrent ``/predict``
+requests are coalesced by the engine's micro-batcher.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.stats import ServerStats
+
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """Client error: malformed JSON or invalid fields (HTTP 400)."""
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing; state lives on ``server``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serving"
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> InferenceEngine:
+        return self.server.engine
+
+    @property
+    def stats(self) -> ServerStats:
+        return self.server.stats
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise BadRequest("a JSON body is required")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(f"body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise BadRequest("JSON body must be an object")
+        return body
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    # ------------------------------------------------------------------
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        name = f"{method} {path}"
+        started = self.stats.timer()
+        try:
+            handler = {
+                "GET /health": self._handle_health,
+                "GET /stats": self._handle_stats,
+                "POST /ingest": self._handle_ingest,
+                "POST /predict": self._handle_predict,
+            }.get(name)
+            if handler is None:
+                self._send_json({"error": f"unknown route {name!r}"}, status=404)
+                return
+            payload, status = handler()
+            self._send_json(payload, status=status)
+            self.stats.record(name, started, error=status >= 400)
+        except BadRequest as exc:
+            self._send_json({"error": str(exc)}, status=400)
+            self.stats.record(name, started, error=True)
+        except ValueError as exc:  # engine/store validation errors
+            self._send_json({"error": str(exc)}, status=400)
+            self.stats.record(name, started, error=True)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+            self.stats.record(name, started, error=True)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._route("POST")
+
+    # ------------------------------------------------------------------
+    def _handle_health(self) -> Tuple[Dict, int]:
+        return (
+            {
+                "status": "ok",
+                "model": self.engine.model_key,
+                "num_entities": self.engine.store.num_entities,
+                "num_relations": self.engine.store.num_relations,
+                "window_version": self.engine.store.window_version,
+                "current_time": self.engine.store.current_time,
+            },
+            200,
+        )
+
+    def _handle_stats(self) -> Tuple[Dict, int]:
+        return ({"server": self.stats.snapshot(), "engine": self.engine.stats()}, 200)
+
+    def _handle_ingest(self) -> Tuple[Dict, int]:
+        body = self._read_json()
+        if ("events" in body) == ("quads" in body):
+            raise BadRequest("provide exactly one of 'events' (with 'timestamp') or 'quads'")
+        if "events" in body:
+            if "timestamp" not in body:
+                raise BadRequest("'events' requires a 'timestamp'")
+            result = self.engine.ingest(body["events"], timestamp=int(body["timestamp"]))
+        else:
+            result = self.engine.ingest(body["quads"])
+        if body.get("flush"):
+            result["flushed"] = self.engine.flush()
+            result["window_version"] = self.engine.store.window_version
+            result["pending_events"] = self.engine.store.pending_events
+        return result, 200
+
+    def _handle_predict(self) -> Tuple[Dict, int]:
+        body = self._read_json()
+        if "queries" in body:
+            queries = body["queries"]
+            if not isinstance(queries, list) or not queries:
+                raise BadRequest("'queries' must be a non-empty list")
+            for q in queries:
+                if not isinstance(q, dict) or "subject" not in q or "relation" not in q:
+                    raise BadRequest("each query needs 'subject' and 'relation'")
+            results = self.engine.predict_many(
+                queries, default_top_k=int(body.get("top_k", 10))
+            )
+            return {"results": results}, 200
+        if "subject" not in body or "relation" not in body:
+            raise BadRequest("'subject' and 'relation' are required")
+        predictions = self.engine.predict(
+            int(body["subject"]),
+            int(body["relation"]),
+            top_k=int(body.get("top_k", 10)),
+            inverse=bool(body.get("inverse", False)),
+        )
+        return (
+            {
+                "subject": int(body["subject"]),
+                "relation": int(body["relation"]),
+                "inverse": bool(body.get("inverse", False)),
+                "predictions": predictions,
+            },
+            200,
+        )
+
+
+class ServingServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine + stats singletons."""
+
+    daemon_threads = True
+
+    def __init__(self, address, engine: InferenceEngine, verbose: bool = False):
+        super().__init__(address, ServingHandler)
+        self.engine = engine
+        self.stats = ServerStats()
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    engine: InferenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 8420,
+    verbose: bool = False,
+) -> ServingServer:
+    """Bind (but do not start) a serving frontend; ``port=0`` auto-picks."""
+    return ServingServer((host, port), engine, verbose=verbose)
+
+
+def serve_in_thread(engine: InferenceEngine, host: str = "127.0.0.1", port: int = 0):
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    Convenience for tests and notebooks::
+
+        server, thread = serve_in_thread(engine)
+        ... urllib.request.urlopen(server.url + "/health") ...
+        server.shutdown()
+    """
+    server = create_server(engine, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,92 @@
+"""Serving-side observability: per-endpoint latency and throughput.
+
+Latencies are kept in a bounded ring (most recent ``window`` samples)
+so a long-lived server reports *current* percentiles, not lifetime
+averages, with O(1) memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+class EndpointStats:
+    """Counters plus a latency ring for one endpoint."""
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self.requests = 0
+        self.errors = 0
+
+    def record(self, latency_s: float, error: bool = False) -> None:
+        with self._lock:
+            self.requests += 1
+            if error:
+                self.errors += 1
+            else:
+                self._latencies.append(float(latency_s))
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            samples = list(self._latencies)
+            requests = self.requests
+            errors = self.errors
+        mean = sum(samples) / len(samples) if samples else 0.0
+        return {
+            "requests": requests,
+            "errors": errors,
+            "latency_ms": {
+                "mean": round(mean * 1e3, 3),
+                "p50": round(percentile(samples, 50) * 1e3, 3),
+                "p95": round(percentile(samples, 95) * 1e3, 3),
+                "p99": round(percentile(samples, 99) * 1e3, 3),
+            },
+        }
+
+
+class ServerStats:
+    """Aggregates :class:`EndpointStats` keyed by route name."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointStats] = {}
+
+    def endpoint(self, name: str) -> EndpointStats:
+        with self._lock:
+            if name not in self._endpoints:
+                self._endpoints[name] = EndpointStats()
+            return self._endpoints[name]
+
+    def timer(self) -> float:
+        return self._clock()
+
+    def record(self, name: str, started: float, error: bool = False) -> None:
+        self.endpoint(name).record(self._clock() - started, error=error)
+
+    def snapshot(self) -> Dict[str, object]:
+        uptime = max(self._clock() - self._started, 1e-9)
+        with self._lock:
+            endpoints = dict(self._endpoints)
+        per_endpoint = {name: ep.snapshot() for name, ep in endpoints.items()}
+        total = sum(ep["requests"] for ep in per_endpoint.values())
+        return {
+            "uptime_s": round(uptime, 3),
+            "total_requests": total,
+            "requests_per_s": round(total / uptime, 3),
+            "endpoints": per_endpoint,
+        }

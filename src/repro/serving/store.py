@@ -1,0 +1,248 @@
+"""Online history state for serving: streaming ingestion over a rolling window.
+
+Offline evaluation rebuilds history by replaying a frozen timeline.  A
+server cannot do that per request: events arrive continuously (often
+several batches for the *same* timestamp) and predictions are requested
+between arrivals.  :class:`OnlineHistoryStore` therefore maintains the
+exact state a :class:`~repro.core.window.WindowBuilder` would reach —
+the ``l`` most recent snapshot graphs, the merged inter-snapshot
+graphs, the ``(s, r)``-keyed global-relevance index, and optionally the
+historical vocabulary — **incrementally**:
+
+- events for the current (open) timestamp are buffered append-only;
+- when an event with a newer timestamp arrives (or :meth:`flush` is
+  called), the buffered snapshot is *sealed*: built once, absorbed into
+  the rolling window and the global index, and the ``window_version``
+  is bumped so prediction caches keyed on it invalidate.
+
+Prediction windows are assembled from sealed history only, mirroring
+the training regime (predict timestamp ``t`` from ``G_{0:t-1}``).  A
+from-scratch rebuild over the same sealed snapshots yields identical
+windows — asserted in ``tests/serving/test_store.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.window import HistoryWindow, WindowBuilder
+from repro.data.dataset import SplitView
+
+
+class OnlineHistoryStore:
+    """Streaming wrapper around a rolling :class:`WindowBuilder`.
+
+    Args:
+        num_entities / num_relations: vocabulary sizes (base relations).
+        history_length, granularity: window parameters (match training).
+        use_global / track_vocabulary: window features the model needs.
+        global_max_history: optional recency cutoff for the global index.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        history_length: int = 2,
+        granularity: int = 2,
+        use_global: bool = True,
+        track_vocabulary: bool = False,
+        global_max_history: Optional[int] = None,
+    ):
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self._builder = WindowBuilder(
+            num_entities,
+            num_relations,
+            history_length=history_length,
+            granularity=granularity,
+            use_global=use_global,
+            global_max_history=global_max_history,
+            track_vocabulary=track_vocabulary,
+        )
+        self._lock = threading.RLock()
+        self._pending: List[np.ndarray] = []
+        self._pending_time: Optional[int] = None
+        self._last_sealed_time: Optional[int] = None
+        self._window_version = 0
+        self._sealed_snapshots = 0
+        self._total_events = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def window_version(self) -> int:
+        """Monotone counter, bumped on every snapshot rollover."""
+        return self._window_version
+
+    @property
+    def current_time(self) -> Optional[int]:
+        """Latest timestamp seen (pending or sealed); None when empty."""
+        if self._pending_time is not None:
+            return self._pending_time
+        return self._last_sealed_time
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(chunk) for chunk in self._pending)
+
+    @property
+    def history_filled(self) -> bool:
+        return self._builder.history_filled
+
+    # ------------------------------------------------------------------
+    def _validate(self, quads: np.ndarray) -> None:
+        if len(quads) == 0:
+            return
+        if quads[:, 0].min() < 0 or quads[:, 0].max() >= self.num_entities:
+            raise ValueError("subject out of range")
+        if quads[:, 2].min() < 0 or quads[:, 2].max() >= self.num_entities:
+            raise ValueError("object out of range")
+        if quads[:, 1].min() < 0 or quads[:, 1].max() >= self.num_relations:
+            raise ValueError("relation out of range (base relation ids only)")
+
+    def _seal_locked(self) -> bool:
+        """Absorb the buffered snapshot into the rolling window."""
+        if not self._pending:
+            return False
+        quads = np.concatenate(self._pending) if len(self._pending) > 1 else self._pending[0]
+        self._builder.absorb(quads)
+        self._last_sealed_time = self._pending_time
+        self._pending = []
+        self._pending_time = None
+        self._window_version += 1
+        self._sealed_snapshots += 1
+        return True
+
+    def ingest(self, events, timestamp: Optional[int] = None) -> Dict[str, object]:
+        """Absorb a batch of streamed events.
+
+        Args:
+            events: ``(n, 4)`` quadruples, or ``(n, 3)`` triples with a
+                shared ``timestamp``.  Timestamps must be non-decreasing
+                across *all* ingest calls; events inside one call may
+                span several timestamps (processed in order).
+            timestamp: overrides / supplies the time column.
+
+        Returns:
+            summary dict: accepted events, rollovers triggered, current
+            time, pending buffer size, and the new window version.
+        """
+        events = np.asarray(events, dtype=np.int64)
+        if events.ndim == 1 and events.size in (3, 4):
+            events = events.reshape(1, -1)
+        if events.ndim != 2 or events.shape[1] not in (3, 4):
+            raise ValueError("events must be (n, 3) triples or (n, 4) quadruples")
+        if events.shape[1] == 3:
+            if timestamp is None:
+                raise ValueError("timestamp is required for (n, 3) triple events")
+            quads = np.concatenate(
+                [events, np.full((len(events), 1), int(timestamp), dtype=np.int64)],
+                axis=1,
+            )
+        else:
+            quads = events.copy()
+            if timestamp is not None:
+                quads[:, 3] = int(timestamp)
+        self._validate(quads)
+
+        rollovers = 0
+        with self._lock:
+            if len(quads):
+                tmin = int(quads[:, 3].min())
+                if self._pending_time is not None:
+                    if tmin < self._pending_time:
+                        raise ValueError(
+                            f"out-of-order event: t={tmin} is older than the "
+                            f"open snapshot at t={self._pending_time}"
+                        )
+                elif self._last_sealed_time is not None and tmin <= self._last_sealed_time:
+                    raise ValueError(
+                        f"out-of-order event: t={tmin} is not newer than the "
+                        f"last sealed snapshot at t={self._last_sealed_time}"
+                    )
+            if len(quads):
+                order = np.argsort(quads[:, 3], kind="stable")
+                quads = quads[order]
+                for t in np.unique(quads[:, 3]):
+                    chunk = quads[quads[:, 3] == t]
+                    t = int(t)
+                    if self._pending_time is not None and t > self._pending_time:
+                        rollovers += int(self._seal_locked())
+                    self._pending.append(chunk)
+                    self._pending_time = t
+                self._total_events += len(quads)
+            return {
+                "accepted": int(len(quads)),
+                "rollovers": rollovers,
+                "current_time": self.current_time,
+                "pending_events": self.pending_events,
+                "window_version": self._window_version,
+            }
+
+    def flush(self) -> bool:
+        """Seal the open snapshot now (e.g. end of a warm-up replay).
+
+        Returns True when a snapshot was actually sealed.
+        """
+        with self._lock:
+            return self._seal_locked()
+
+    def warm_up(self, history: SplitView, max_timestamps: Optional[int] = None) -> int:
+        """Replay a split's snapshots chronologically; returns events absorbed.
+
+        The final snapshot is flushed so the whole split is queryable
+        immediately.
+        """
+        items = sorted(history.facts_by_time().items())
+        if max_timestamps is not None:
+            items = items[:max_timestamps]
+        absorbed = 0
+        with self._lock:
+            for t, quads in items:
+                self.ingest(quads, timestamp=int(t))
+                absorbed += len(quads)
+            self.flush()
+        return absorbed
+
+    def reset(self) -> None:
+        """Forget all history (window version keeps increasing)."""
+        with self._lock:
+            self._builder.reset()
+            self._pending = []
+            self._pending_time = None
+            self._last_sealed_time = None
+            self._window_version += 1
+            self._sealed_snapshots = 0
+            self._total_events = 0
+
+    # ------------------------------------------------------------------
+    def window_for(
+        self, queries: np.ndarray, prediction_time: Optional[int] = None
+    ) -> HistoryWindow:
+        """Assemble the prediction window from sealed history.
+
+        ``prediction_time`` defaults to one step past the latest sealed
+        snapshot (the standard extrapolation setting).
+        """
+        with self._lock:
+            if prediction_time is None:
+                base = self._last_sealed_time
+                prediction_time = (base + 1) if base is not None else 0
+            return self._builder.window_for(queries, prediction_time=int(prediction_time))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "window_version": self._window_version,
+                "current_time": self.current_time,
+                "sealed_snapshots": self._sealed_snapshots,
+                "window_snapshots": self._builder.num_window_snapshots,
+                "pending_events": self.pending_events,
+                "total_events": self._total_events,
+                "global_indexed_pairs": self._builder.global_builder.num_indexed_pairs,
+                "global_indexed_facts": self._builder.global_builder.num_indexed_facts,
+            }

@@ -68,7 +68,7 @@ class TestCheckpointing:
         lin = nn.Linear(3, 2)
         path = str(tmp_path / "c.npz")
         nn.save_checkpoint(lin, path)
-        with pytest.raises(KeyError):
+        with pytest.raises(nn.CheckpointError, match="missing keys"):
             nn.load_checkpoint(nn.Embedding(4, 4), path)
 
     def test_empty_metadata_default(self, tmp_path):

@@ -13,8 +13,17 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ["generate", "stats", "train", "table2", "table3",
-                        "table4", "figure5", "mechanisms"]:
+                        "table4", "figure5", "mechanisms", "eval", "serve",
+                        "ingest", "predict"]:
             assert command in text
+
+    def test_predict_requires_url_or_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "0", "0"])
+
+    def test_ingest_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["ingest", "--url", "http://localhost:1"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
