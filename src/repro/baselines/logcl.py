@@ -18,11 +18,13 @@ import numpy as np
 from repro.nn import Embedding, Linear, cross_entropy
 from repro.nn import functional as F
 from repro.nn.module import Module, ModuleList
+from repro.nn.segment import segment_sum
 from repro.nn.tensor import Tensor, concat
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import MultiGranularityEvolutionaryEncoder
 from repro.core.window import HistoryWindow
+from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
 
 
@@ -44,15 +46,16 @@ class EntityAwareAttention(Module):
     def forward(self, entity_emb: Tensor, relation_emb: Tensor, graph: SnapshotGraph) -> Tensor:
         if graph.num_edges == 0:
             return F.relu(self.self_proj(entity_emb))
+        plan = compiled(graph)
         subj = entity_emb.index_select(graph.src)
         rel = relation_emb.index_select(graph.rel)
         obj = entity_emb.index_select(graph.dst)
         logits = F.leaky_relu(
             self.attn(concat([subj, rel, obj], axis=1)), self.leaky_slope
         ).reshape(graph.num_edges)
-        weights = F.segment_softmax(logits, graph.dst, graph.num_entities)
+        weights = F.segment_softmax(logits, plan.dst_layout)
         messages = self.message_proj(subj + rel) * weights.reshape(-1, 1)
-        aggregated = Tensor(np.zeros(entity_emb.shape)).scatter_add(graph.dst, messages)
+        aggregated = segment_sum(messages, plan.dst_layout)
         return F.relu(aggregated + self.self_proj(entity_emb))
 
 

@@ -14,9 +14,11 @@ import numpy as np
 
 from repro.nn import Dropout, Embedding, GRUCell, Linear
 from repro.nn import functional as F
+from repro.nn.segment import segment_sum
 from repro.nn.tensor import Tensor, concat
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.window import HistoryWindow
+from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
 
 
@@ -39,11 +41,12 @@ class RENet(TKGBaseline):
         """Mean of (neighbor + relation) messages into each entity."""
         if graph.num_edges == 0:
             return entity_state
+        plan = compiled(graph)
         messages = self.aggregate_proj(
             entity_state.index_select(graph.src) + self.relation.all().index_select(graph.rel)
         )
-        norm = Tensor(graph.in_degree_norm().reshape(-1, 1))
-        pooled = Tensor(np.zeros(entity_state.shape)).scatter_add(graph.dst, messages * norm)
+        norm = Tensor(plan.in_degree_norm.reshape(-1, 1))
+        pooled = segment_sum(messages * norm, plan.dst_layout)
         return F.tanh(pooled)
 
     def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:

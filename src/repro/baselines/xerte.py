@@ -18,9 +18,11 @@ import numpy as np
 
 from repro.nn import Embedding, Linear, Parameter, init
 from repro.nn import functional as F
+from repro.nn.segment import segment_sum_data
 from repro.nn.tensor import Tensor
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.window import HistoryWindow
+from repro.graphs.compiled import compiled
 
 
 class XERTE(TKGBaseline):
@@ -74,11 +76,11 @@ class XERTE(TKGBaseline):
 
             compat = self.edge_score(concat([subj, rel, obj], axis=1)).data.reshape(-1)
             compat = np.exp(np.clip(compat, -10, 10)) * time_prior
+            dst_layout = compiled(graph).dst_layout
             current = mass
             for _ in range(self.hops):
-                flowed = np.zeros_like(current)
                 contrib = current[:, graph.src] * compat[None, :]
-                np.add.at(flowed.T, graph.dst, contrib.T)
+                flowed = segment_sum_data(contrib.T, dst_layout).T
                 evidence += flowed
                 current = flowed / (flowed.sum(axis=1, keepdims=True) + 1e-9)
         return evidence

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro.nn import Dropout, Linear, RReLU
 from repro.nn.module import Module, ModuleList
+from repro.nn.segment import segment_sum
 from repro.nn.tensor import Tensor
+from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
 
 
@@ -61,13 +61,12 @@ class CompGCNLayer(Module):
             )
             return self.dropout(out), new_rel
 
+        plan = compiled(graph)
         subj = entity_emb.index_select(graph.src)
         rel = relation_emb.index_select(graph.rel)
         messages = self.message_proj(subj + rel)
-        norm = Tensor(graph.in_degree_norm().reshape(-1, 1))
-        aggregated = Tensor(np.zeros(entity_emb.shape)).scatter_add(
-            graph.dst, messages * norm
-        )
+        norm = Tensor(plan.in_degree_norm.reshape(-1, 1))
+        aggregated = segment_sum(messages * norm, plan.dst_layout)
         out = self.activation(aggregated + self.self_proj(entity_emb))
         new_rel = (
             self.activation(self.relation_proj(relation_emb))

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
-
 from repro.nn import Conv1d, Dropout, Linear, RReLU
 from repro.nn import functional as F
 from repro.nn.module import Module
+from repro.nn.segment import segment_sum
 from repro.nn.tensor import Tensor, concat
+from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
 
 
@@ -62,7 +62,7 @@ class ConvGATLayer(Module):
         triple = concat([subj, rel, obj], axis=1)
         hidden = F.leaky_relu(self.attn_hidden(triple), self.leaky_slope)
         logits = self.attn_out(hidden).reshape(graph.num_edges)
-        return F.segment_softmax(logits, graph.dst, graph.num_entities)
+        return F.segment_softmax(logits, compiled(graph).dst_layout)
 
     def forward(
         self, entity_emb: Tensor, relation_emb: Tensor, graph: SnapshotGraph
@@ -78,6 +78,6 @@ class ConvGATLayer(Module):
         fused = (subj + rel).reshape(graph.num_edges, 1, self.dim)
         convolved = self.conv(fused).reshape(graph.num_edges, -1)
         messages = self.message_proj(convolved) * weights.reshape(-1, 1)
-        aggregated = Tensor(np.zeros(entity_emb.shape)).scatter_add(graph.dst, messages)
+        aggregated = segment_sum(messages, compiled(graph).dst_layout)
         out = self.activation(aggregated + self.self_proj(entity_emb))
         return self.dropout(out), relation_emb

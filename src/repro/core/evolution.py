@@ -21,13 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.nn import GRUCell
 from repro.nn.module import Module
+from repro.nn.segment import segment_mean
 from repro.nn.tensor import Tensor
 from repro.core.compgcn import CompGCNStack
 from repro.core.time_encoding import TimeEncoding
+from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
 
 
@@ -49,18 +49,12 @@ def relation_entity_pooling(
     Relations absent from the snapshot keep their ``fallback`` row so the
     GRU still receives a sensible input for them.
     """
-    num_relations = fallback.shape[0]
-    dim = fallback.shape[1]
     if graph.num_edges == 0:
         return fallback
-    counts = np.zeros(num_relations)
-    np.add.at(counts, graph.rel, 1.0)
-    present = counts > 0
-    inv = np.where(present, 1.0 / np.maximum(counts, 1.0), 0.0)
+    rel_layout = compiled(graph).rel_layout
     subj = entity_emb.index_select(graph.src)
-    summed = Tensor(np.zeros((num_relations, dim))).scatter_add(graph.rel, subj)
-    pooled = summed * Tensor(inv.reshape(-1, 1))
-    keep = Tensor(present.astype(np.float64).reshape(-1, 1))
+    pooled = segment_mean(subj, rel_layout)  # empty relations pool to 0
+    keep = Tensor(rel_layout.nonempty.astype(fallback.data.dtype).reshape(-1, 1))
     return pooled * keep + fallback * (1.0 - keep)
 
 

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
-
 from repro.nn import Dropout, Linear, RReLU
 from repro.nn import functional as F
 from repro.nn.module import Module
+from repro.nn.segment import segment_sum
 from repro.nn.tensor import Tensor, concat
+from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
 
 
@@ -40,13 +40,14 @@ class RGATLayer(Module):
             out = self.activation(self.self_proj(entity_emb))
             return self.dropout(out), relation_emb
 
+        plan = compiled(graph)
         subj = entity_emb.index_select(graph.src)
         rel = relation_emb.index_select(graph.rel)
         obj = entity_emb.index_select(graph.dst)
         triple = concat([subj, rel, obj], axis=1)
         logits = F.leaky_relu(self.attn(triple), self.leaky_slope).reshape(graph.num_edges)
-        weights = F.segment_softmax(logits, graph.dst, graph.num_entities)
+        weights = F.segment_softmax(logits, plan.dst_layout)
         messages = self.message_proj(triple) * weights.reshape(-1, 1)
-        aggregated = Tensor(np.zeros(entity_emb.shape)).scatter_add(graph.dst, messages)
+        aggregated = segment_sum(messages, plan.dst_layout)
         out = self.activation(aggregated + self.self_proj(entity_emb))
         return self.dropout(out), relation_emb

@@ -3,12 +3,27 @@
 The trainer walks the timeline; at each prediction timestamp it packages
 the ``l`` most recent snapshot graphs, the merged inter-snapshot graphs,
 the time deltas, and the globally relevant graph into a
-:class:`HistoryWindow`.  Building graphs once per timestamp (and caching
-them) keeps epochs O(facts), not O(facts * epochs).
+:class:`HistoryWindow`.
+
+Graph builds are cached at the window level so they are paid once per
+*distinct content*, not once per request:
+
+- snapshot and merged graphs are keyed on a content fingerprint of their
+  quads and survive :meth:`WindowBuilder.reset` — the trainer resets the
+  builder every epoch while replaying the same timeline, so epochs 2..n
+  reuse epoch 1's builds (and with them the compiled layouts memoized on
+  each graph instance by ``repro.graphs.compiled``);
+- merged graphs are cached per sliding window, so absorbing one new
+  snapshot rebuilds only the merge windows that actually changed;
+- globally relevant graphs are kept in an LRU keyed on the builder's
+  history version plus the query-pair set, so repeated queries within
+  one window version (ablation sweeps, serving micro-batches) reuse the
+  materialised G^H_t.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -16,8 +31,15 @@ import numpy as np
 
 from repro.graphs.global_graph import GlobalGraphBuilder
 from repro.graphs.history import HistoryVocabulary
-from repro.graphs.merge import windowed_merges
+from repro.graphs.merge import merge_snapshots
 from repro.graphs.snapshot import SnapshotGraph, build_snapshot
+
+
+def _fingerprint(quads: np.ndarray) -> Tuple[int, int, int]:
+    """Cheap content key for one snapshot's quad array."""
+    quads = np.ascontiguousarray(quads)
+    t = int(quads[0, 3]) if len(quads) else -1
+    return (t, quads.shape[0], hash(quads.tobytes()))
 
 
 @dataclass
@@ -63,6 +85,7 @@ class WindowBuilder:
         use_global: bool = True,
         global_max_history: Optional[int] = None,
         track_vocabulary: bool = False,
+        cache_capacity: int = 4096,
     ):
         self.num_entities = num_entities
         self.num_relations = num_relations
@@ -70,23 +93,73 @@ class WindowBuilder:
         self.granularity = granularity
         self.use_global = use_global
         self.track_vocabulary = track_vocabulary
+        self.cache_capacity = int(cache_capacity)
         self._recent_quads: List[np.ndarray] = []
         self._recent_graphs: List[SnapshotGraph] = []
         self._recent_times: List[int] = []
+        self._recent_fps: List[Tuple[int, int, int]] = []
         self._global = GlobalGraphBuilder(
             num_entities, 2 * num_relations, max_history=global_max_history
         )
         self._vocab = (
             HistoryVocabulary(num_entities, 2 * num_relations) if track_vocabulary else None
         )
+        # History version: advances with every absorb, and is
+        # content-chained so two identical replays (epoch 1 vs epoch 2)
+        # pass through the *same* version sequence — that is what lets
+        # the version-keyed global-graph LRU hit across epochs.
+        self._version: int = 0
+        self._absorb_count = 0
+        # Content-keyed caches; deliberately NOT cleared by reset() so
+        # builds survive epoch boundaries.  LRU-bounded.
+        self._snapshot_cache: "OrderedDict[Tuple, SnapshotGraph]" = OrderedDict()
+        self._merged_cache: "OrderedDict[Tuple, SnapshotGraph]" = OrderedDict()
+        self._global_cache: "OrderedDict[Tuple, SnapshotGraph]" = OrderedDict()
+        self._cache_stats = {
+            "snapshot_builds": 0,
+            "snapshot_hits": 0,
+            "merged_builds": 0,
+            "merged_hits": 0,
+            "global_builds": 0,
+            "global_hits": 0,
+        }
 
     def reset(self) -> None:
+        """Forget the rolling history (start of a new epoch/run).
+
+        Graph caches survive: they are keyed on content fingerprints (or
+        the content-chained version), so replaying the same timeline
+        after a reset reuses every build from the previous pass.
+        """
         self._recent_quads.clear()
         self._recent_graphs.clear()
         self._recent_times.clear()
+        self._recent_fps.clear()
         self._global.reset()
         if self._vocab is not None:
             self._vocab.reset()
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Content-chained history version (changes on every absorb)."""
+        return self._version
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Build/hit counters of the window-level graph caches."""
+        return dict(self._cache_stats)
+
+    def _cache_get(self, cache: "OrderedDict", key) -> Optional[SnapshotGraph]:
+        graph = cache.get(key)
+        if graph is not None:
+            cache.move_to_end(key)
+        return graph
+
+    def _cache_put(self, cache: "OrderedDict", key, graph: SnapshotGraph) -> None:
+        cache[key] = graph
+        while len(cache) > self.cache_capacity:
+            cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     def window_for(self, queries: np.ndarray, prediction_time: int) -> HistoryWindow:
@@ -96,21 +169,19 @@ class WindowBuilder:
         propagation) because the global graph keys on their (s, r) pairs.
         """
         snapshots = list(self._recent_graphs)
-        merged = (
-            windowed_merges(
-                self._recent_quads,
-                self.num_entities,
-                self.num_relations,
-                granularity=self.granularity,
-            )
-            if self._recent_quads
-            else []
-        )
+        merged = self._merged_windows()
         deltas = [float(prediction_time - t) for t in self._recent_times]
         global_graph = None
         if self.use_global:
-            pairs = {(int(q[0]), int(q[1])) for q in queries}
-            global_graph = self._global.build(pairs, now=prediction_time)
+            pairs = frozenset((int(q[0]), int(q[1])) for q in queries)
+            key = (self._version, pairs, int(prediction_time))
+            global_graph = self._cache_get(self._global_cache, key)
+            if global_graph is None:
+                global_graph = self._global.build(pairs, now=prediction_time)
+                self._cache_put(self._global_cache, key, global_graph)
+                self._cache_stats["global_builds"] += 1
+            else:
+                self._cache_stats["global_hits"] += 1
         masks = counts = None
         if self._vocab is not None:
             queries = np.asarray(queries, dtype=np.int64)
@@ -126,19 +197,61 @@ class WindowBuilder:
             history_counts=counts,
         )
 
+    def _merged_windows(self) -> List[SnapshotGraph]:
+        """Merged inter-snapshot graphs, one per sliding window, cached.
+
+        Each window of ``granularity`` adjacent snapshots is cached on
+        the member fingerprints, so absorbing one new snapshot only
+        builds the windows that include it.
+        """
+        n = len(self._recent_quads)
+        if n == 0:
+            return []
+        if n < self.granularity:
+            spans = [range(n)]
+        else:
+            spans = [range(i, i + self.granularity) for i in range(n - self.granularity + 1)]
+        merged: List[SnapshotGraph] = []
+        for span in spans:
+            key = tuple(self._recent_fps[i] for i in span)
+            graph = self._cache_get(self._merged_cache, key)
+            if graph is None:
+                graph = merge_snapshots(
+                    [self._recent_quads[i] for i in span],
+                    self.num_entities,
+                    self.num_relations,
+                )
+                self._cache_put(self._merged_cache, key, graph)
+                self._cache_stats["merged_builds"] += 1
+            else:
+                self._cache_stats["merged_hits"] += 1
+            merged.append(graph)
+        return merged
+
     def absorb(self, quads: np.ndarray) -> None:
         """Add a snapshot (raw+inverse quads) to the rolling history."""
         quads = np.asarray(quads, dtype=np.int64).reshape(-1, 4)
         if len(quads) == 0:
             return
-        graph = build_snapshot(quads, self.num_entities, self.num_relations)
+        fp = _fingerprint(quads)
+        graph = self._cache_get(self._snapshot_cache, fp)
+        if graph is None:
+            graph = build_snapshot(quads, self.num_entities, self.num_relations)
+            self._cache_put(self._snapshot_cache, fp, graph)
+            self._cache_stats["snapshot_builds"] += 1
+        else:
+            self._cache_stats["snapshot_hits"] += 1
+        self._absorb_count += 1
+        self._version = hash((self._version, fp))
         self._recent_quads.append(quads)
         self._recent_graphs.append(graph)
         self._recent_times.append(int(quads[0, 3]))
+        self._recent_fps.append(fp)
         if len(self._recent_quads) > self.history_length:
             self._recent_quads.pop(0)
             self._recent_graphs.pop(0)
             self._recent_times.pop(0)
+            self._recent_fps.pop(0)
         # the global index keeps *everything*, with inverse facts, so the
         # inverse query pairs hit it too
         doubled = np.concatenate(

@@ -5,6 +5,12 @@ from repro.graphs.snapshot import SnapshotGraph, build_snapshot
 from repro.graphs.merge import merge_snapshots
 from repro.graphs.global_graph import GlobalGraphBuilder
 from repro.graphs.history import HistoryVocabulary
+from repro.graphs.compiled import (
+    CompiledGraph,
+    compiled,
+    compiled_cache_stats,
+    reset_compiled_cache_stats,
+)
 
 __all__ = [
     "SnapshotGraph",
@@ -12,4 +18,8 @@ __all__ = [
     "merge_snapshots",
     "GlobalGraphBuilder",
     "HistoryVocabulary",
+    "CompiledGraph",
+    "compiled",
+    "compiled_cache_stats",
+    "reset_compiled_cache_stats",
 ]

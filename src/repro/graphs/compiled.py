@@ -1,0 +1,118 @@
+"""Compiled graphs: the cached, layout-precomputed compute plane.
+
+Every message-passing layer needs the same derived structures from a
+:class:`~repro.graphs.snapshot.SnapshotGraph`: the destination-sorted
+edge permutation with CSR segment offsets (for buffered reductions),
+in-degree normalisation, and the active-node set.  Historically each
+layer re-derived them per call — for a 2-layer encoder over an
+``l``-snapshot window that is ``2l`` recomputations per training step,
+every step, every epoch.
+
+:class:`CompiledGraph` computes them once and
+:func:`compiled` memoizes the build on the graph instance, so all
+layers, steps, epochs, and serving requests touching the same graph
+share one build.  Process-wide hit/build counters feed the serving
+``/stats`` endpoint and cache-efficiency tests.
+
+Graphs are treated as immutable once compiled (every builder in this
+repo constructs edge arrays exactly once); mutating ``src``/``rel``/
+``dst`` afterwards would leave the compiled view stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs.snapshot import SnapshotGraph
+from repro.nn.segment import SegmentLayout
+
+__all__ = ["CompiledGraph", "compiled", "compiled_cache_stats", "reset_compiled_cache_stats"]
+
+_STATS = {"builds": 0, "hits": 0}
+
+
+class CompiledGraph:
+    """Precomputed message-passing layouts for one snapshot graph.
+
+    Attributes:
+        graph: the wrapped :class:`SnapshotGraph`.
+        dst_layout: :class:`SegmentLayout` grouping edges by destination
+            node (the aggregation axis of every GNN layer here).
+        rel_layout: lazily-built layout grouping edges by relation id
+            (relation-entity pooling, Eq. 6).
+    """
+
+    __slots__ = ("graph", "dst_layout", "_rel_layout", "_in_degree_norm", "_src_layout")
+
+    def __init__(self, graph: SnapshotGraph):
+        self.graph = graph
+        self.dst_layout = SegmentLayout(graph.dst, graph.num_entities)
+        self._rel_layout: Optional[SegmentLayout] = None
+        self._src_layout: Optional[SegmentLayout] = None
+        self._in_degree_norm: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def in_degree(self) -> np.ndarray:
+        """In-degree per node, read off the destination layout."""
+        return self.dst_layout.counts
+
+    @property
+    def in_degree_norm(self) -> np.ndarray:
+        """1/in-degree per edge destination (0-degree guarded)."""
+        if self._in_degree_norm is None:
+            deg = self.in_degree.astype(np.float64)
+            deg[deg == 0] = 1.0
+            self._in_degree_norm = 1.0 / deg[self.graph.dst]
+        return self._in_degree_norm
+
+    @property
+    def rel_layout(self) -> SegmentLayout:
+        """Edges grouped by relation id (built on first use)."""
+        if self._rel_layout is None:
+            self._rel_layout = SegmentLayout(self.graph.rel, self.graph.num_relations)
+        return self._rel_layout
+
+    @property
+    def src_layout(self) -> SegmentLayout:
+        """Edges grouped by source node (built on first use)."""
+        if self._src_layout is None:
+            self._src_layout = SegmentLayout(self.graph.src, self.graph.num_entities)
+        return self._src_layout
+
+    @property
+    def active_nodes(self) -> np.ndarray:
+        return self.graph.active_nodes()
+
+
+def compiled(graph: SnapshotGraph) -> CompiledGraph:
+    """Return the graph's :class:`CompiledGraph`, building it at most once.
+
+    The build is memoized on the graph instance, so every layer / step /
+    request that receives the same :class:`SnapshotGraph` object shares
+    the same layouts.
+    """
+    cached = getattr(graph, "_compiled", None)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    built = CompiledGraph(graph)
+    graph._compiled = built
+    _STATS["builds"] += 1
+    return built
+
+
+def compiled_cache_stats() -> Dict[str, int]:
+    """Process-wide compiled-graph build/hit counters (for ``/stats``)."""
+    return dict(_STATS)
+
+
+def reset_compiled_cache_stats() -> None:
+    _STATS["builds"] = 0
+    _STATS["hits"] = 0

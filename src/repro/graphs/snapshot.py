@@ -38,26 +38,36 @@ class SnapshotGraph:
         self.dst = np.asarray(self.dst, dtype=np.int64)
         if not (len(self.src) == len(self.rel) == len(self.dst)):
             raise ValueError("src/rel/dst must be parallel arrays")
+        # Lazy memos; graphs are immutable once built, so derived
+        # quantities are computed at most once per instance.
+        self._in_degree: Optional[np.ndarray] = None
+        self._in_degree_norm: Optional[np.ndarray] = None
+        self._active_nodes: Optional[np.ndarray] = None
+        self._compiled = None  # filled by repro.graphs.compiled.compiled
 
     @property
     def num_edges(self) -> int:
         return len(self.src)
 
     def in_degree(self) -> np.ndarray:
-        """In-degree per node (used for mean aggregation)."""
-        deg = np.zeros(self.num_entities, dtype=np.int64)
-        np.add.at(deg, self.dst, 1)
-        return deg
+        """In-degree per node (used for mean aggregation); memoized."""
+        if self._in_degree is None:
+            self._in_degree = np.bincount(self.dst, minlength=self.num_entities).astype(np.int64)
+        return self._in_degree
 
     def in_degree_norm(self) -> np.ndarray:
-        """1/in-degree per edge destination, with 0-degree guarded."""
-        deg = self.in_degree().astype(np.float64)
-        deg[deg == 0] = 1.0
-        return 1.0 / deg[self.dst]
+        """1/in-degree per edge destination, 0-degree guarded; memoized."""
+        if self._in_degree_norm is None:
+            deg = self.in_degree().astype(np.float64)
+            deg[deg == 0] = 1.0
+            self._in_degree_norm = 1.0 / deg[self.dst]
+        return self._in_degree_norm
 
     def active_nodes(self) -> np.ndarray:
-        """Nodes that appear as an endpoint of at least one edge."""
-        return np.unique(np.concatenate([self.src, self.dst]))
+        """Nodes appearing as an endpoint of at least one edge; memoized."""
+        if self._active_nodes is None:
+            self._active_nodes = np.unique(np.concatenate([self.src, self.dst]))
+        return self._active_nodes
 
     def triples(self) -> np.ndarray:
         """(num_edges, 3) array of (src, rel, dst)."""

@@ -11,8 +11,25 @@ HisRES equations (Eqs. 1-15 of the paper) require, with every operator
 covered by finite-difference gradient checks in ``tests/nn``.
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    get_default_dtype,
+    set_default_dtype,
+    default_dtype,
+)
 from repro.nn import functional
+from repro.nn.segment import (
+    SegmentLayout,
+    segment_sum,
+    segment_mean,
+    segment_max,
+    segment_softmax,
+    set_segment_impl,
+    get_segment_impl,
+    segment_impl,
+)
 from repro.nn.module import Module, Parameter, ModuleList, ModuleDict
 from repro.nn.layers import Linear, Embedding, Dropout, Sequential, LayerNorm, BatchNorm1d
 from repro.nn.rnn import GRUCell
@@ -46,7 +63,18 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "functional",
+    "SegmentLayout",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "set_segment_impl",
+    "get_segment_impl",
+    "segment_impl",
     "Module",
     "Parameter",
     "ModuleList",

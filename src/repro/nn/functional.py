@@ -6,7 +6,16 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, concat, ensure_tensor, is_grad_enabled, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    ensure_tensor,
+    get_default_dtype,
+    is_grad_enabled,
+    stack,
+    where,
+)
+from repro.nn.segment import segment_max, segment_mean, segment_softmax, segment_sum
 
 __all__ = [
     "softmax",
@@ -20,6 +29,9 @@ __all__ = [
     "linear",
     "embedding",
     "mean_pool",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
     "segment_softmax",
     "concat",
     "stack",
@@ -114,38 +126,11 @@ def mean_pool(x: Tensor, axis: int = 0) -> Tensor:
     return x.mean(axis=axis)
 
 
-def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
-    """Softmax over groups of entries sharing a segment id.
-
-    Used by attention layers (ConvGAT, RGAT) where each edge score is
-    normalised over the incoming edges of its destination node.
-
-    Args:
-        scores: shape ``(num_edges,)`` raw attention logits.
-        segments: shape ``(num_edges,)`` destination node of each edge.
-        num_segments: number of destination nodes.
-
-    Returns:
-        Tensor of shape ``(num_edges,)`` with scores normalised so that
-        for every node the weights of its incoming edges sum to 1.
-    """
-    segments = np.asarray(segments, dtype=np.int64)
-    # Stabilise with the per-segment maximum (constant wrt autograd).
-    seg_max = np.full(num_segments, -np.inf)
-    np.maximum.at(seg_max, segments, scores.data)
-    seg_max[~np.isfinite(seg_max)] = 0.0
-    shifted = scores - Tensor(seg_max[segments])
-    exp = shifted.exp()
-    denom_full = Tensor(np.zeros(num_segments)).scatter_add(segments, exp)
-    denom = denom_full.index_select(segments)
-    return exp / denom
-
-
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
     """Constant one-hot matrix (labels never need gradients)."""
     indices = np.asarray(indices, dtype=np.int64)
     flat = indices.reshape(-1)
-    out = np.zeros((flat.size, num_classes))
+    out = np.zeros((flat.size, num_classes), dtype=get_default_dtype())
     out[np.arange(flat.size), flat] = 1.0
     return out.reshape(indices.shape + (num_classes,))
 

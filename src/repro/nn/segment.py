@@ -1,0 +1,295 @@
+"""Fused autodiff segment reductions — the graph compute plane's kernels.
+
+Message passing in every encoder of this repo reduces per-edge values
+into per-node (or per-relation) buckets.  The historical implementation
+funnelled through ``Tensor.scatter_add`` built on ``np.add.at``, which
+numpy executes as an unbuffered per-element loop, and re-derived the
+destination grouping on every call.  This module provides the fused
+alternatives:
+
+- :class:`SegmentLayout` precomputes the sorted-edge/CSR view of one
+  segment-id array (stable sort permutation, CSR offsets, counts) so the
+  grouping cost is paid once per graph, not once per op call;
+- :func:`segment_sum` / :func:`segment_mean` / :func:`segment_max` /
+  :func:`segment_softmax` run buffered ``np.add.reduceat`` /
+  ``np.maximum.reduceat`` reductions over that layout, with hand-fused
+  reverse-mode gradients (a single gather per op instead of a chain of
+  autodiff nodes).
+
+Empty segments reduce to 0 for sum/mean/max and to an empty softmax
+group; both match the behaviour of scattering into a zero tensor.
+
+For verification the module keeps two reference implementations
+selectable with :func:`set_segment_impl` / :func:`segment_impl`:
+
+- ``"reference"`` — the pre-refactor path: per-call ``np.add.at`` /
+  ``np.maximum.at`` scatter loops, ignoring any precomputed layout;
+- ``"dense"`` — one-hot matmul reductions (`O(segments * entries)`),
+  the ground truth the gradcheck property tests compare against.
+
+With float64 all three produce results equal to ~1e-14 (buffered
+reductions use pairwise summation; the scatter loop is sequential), so
+metrics agree far below the 1e-9 parity tolerance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, ensure_tensor
+
+__all__ = [
+    "SegmentLayout",
+    "segment_sum",
+    "segment_sum_data",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "set_segment_impl",
+    "get_segment_impl",
+    "segment_impl",
+]
+
+_IMPLS = ("fused", "reference", "dense")
+_IMPL = "fused"
+
+
+def set_segment_impl(name: str) -> str:
+    """Select the segment-op implementation; returns the previous one."""
+    global _IMPL
+    if name not in _IMPLS:
+        raise ValueError(f"unknown segment impl {name!r}; expected one of {_IMPLS}")
+    previous = _IMPL
+    _IMPL = name
+    return previous
+
+
+def get_segment_impl() -> str:
+    return _IMPL
+
+
+@contextlib.contextmanager
+def segment_impl(name: str):
+    """Temporarily switch implementations (parity tests, benchmarks)."""
+    previous = set_segment_impl(name)
+    try:
+        yield
+    finally:
+        set_segment_impl(previous)
+
+
+class SegmentLayout:
+    """Sorted-edge/CSR view of one segment-id array, built once.
+
+    Attributes:
+        segments: the original (unsorted) int64 segment id per entry.
+        num_segments: size of the output space.
+        order: stable permutation sorting entries by segment id.
+        counts: entries per segment, shape ``(num_segments,)``.
+        indptr: CSR offsets into the sorted entries, ``(num_segments+1,)``.
+        nonempty: boolean mask of segments with at least one entry.
+        starts: sorted-entry start offset of every non-empty segment
+            (exactly the index list ``reduceat`` needs).
+    """
+
+    __slots__ = (
+        "segments",
+        "num_segments",
+        "order",
+        "counts",
+        "indptr",
+        "nonempty",
+        "starts",
+    )
+
+    def __init__(self, segments: np.ndarray, num_segments: int):
+        segments = np.asarray(segments, dtype=np.int64).reshape(-1)
+        num_segments = int(num_segments)
+        if segments.size and (segments.min() < 0 or segments.max() >= num_segments):
+            raise ValueError("segment ids out of range")
+        self.segments = segments
+        self.num_segments = num_segments
+        self.order = np.argsort(segments, kind="stable")
+        self.counts = np.bincount(segments, minlength=num_segments)
+        indptr = np.zeros(num_segments + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=indptr[1:])
+        self.indptr = indptr
+        self.nonempty = self.counts > 0
+        self.starts = indptr[:-1][self.nonempty]
+
+    @property
+    def num_entries(self) -> int:
+        return self.segments.size
+
+
+LayoutOrSegments = Union[SegmentLayout, np.ndarray]
+
+
+def _resolve(segments: LayoutOrSegments, num_segments: Optional[int]) -> SegmentLayout:
+    if isinstance(segments, SegmentLayout):
+        return segments
+    if num_segments is None:
+        raise ValueError("num_segments is required when no SegmentLayout is given")
+    return SegmentLayout(segments, num_segments)
+
+
+def _one_hot(layout: SegmentLayout, dtype) -> np.ndarray:
+    out = np.zeros((layout.num_entries, layout.num_segments), dtype=dtype)
+    if layout.num_entries:
+        out[np.arange(layout.num_entries), layout.segments] = 1.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# raw (non-autodiff) reductions, dispatched on the active impl
+# ----------------------------------------------------------------------
+def _sum_data(values: np.ndarray, layout: SegmentLayout) -> np.ndarray:
+    out_shape = (layout.num_segments,) + values.shape[1:]
+    if _IMPL == "dense":
+        cols = int(np.prod(values.shape[1:], dtype=np.int64))
+        flat = values.reshape(layout.num_entries, cols)
+        dense = _one_hot(layout, values.dtype).T @ flat
+        return dense.reshape(out_shape)
+    if _IMPL == "reference":
+        out = np.zeros(out_shape, dtype=values.dtype)
+        np.add.at(out, layout.segments, values)
+        return out
+    out = np.zeros(out_shape, dtype=values.dtype)
+    if layout.num_entries:
+        out[layout.nonempty] = np.add.reduceat(values[layout.order], layout.starts, axis=0)
+    return out
+
+
+def _max_data(values: np.ndarray, layout: SegmentLayout) -> np.ndarray:
+    out_shape = (layout.num_segments,) + values.shape[1:]
+    if _IMPL in ("reference", "dense"):
+        out = np.full(out_shape, -np.inf, dtype=values.dtype)
+        np.maximum.at(out, layout.segments, values)
+        out[~layout.nonempty] = 0.0
+        return out
+    out = np.zeros(out_shape, dtype=values.dtype)
+    if layout.num_entries:
+        out[layout.nonempty] = np.maximum.reduceat(
+            values[layout.order], layout.starts, axis=0
+        )
+    return out
+
+
+def _gather(per_segment: np.ndarray, layout: SegmentLayout) -> np.ndarray:
+    return per_segment[layout.segments]
+
+
+def segment_sum_data(
+    values: np.ndarray,
+    segments: LayoutOrSegments,
+    num_segments: Optional[int] = None,
+) -> np.ndarray:
+    """Raw (non-autodiff) segment sum over plain numpy arrays.
+
+    The kernel behind :func:`segment_sum`, exposed for numeric code that
+    never needs gradients (e.g. attention-mass propagation in xERTE).
+    """
+    return _sum_data(np.asarray(values), _resolve(segments, num_segments))
+
+
+# ----------------------------------------------------------------------
+# autodiff ops
+# ----------------------------------------------------------------------
+def segment_sum(
+    values: Tensor,
+    segments: LayoutOrSegments,
+    num_segments: Optional[int] = None,
+) -> Tensor:
+    """Sum entries sharing a segment id: out[s] = sum(values[segments == s]).
+
+    ``segments`` may be a raw id array (with ``num_segments``) or a
+    precomputed :class:`SegmentLayout` (the compiled-graph fast path).
+    """
+    values = ensure_tensor(values)
+    layout = _resolve(segments, num_segments)
+    out_data = _sum_data(values.data, layout)
+
+    def backward(grad: np.ndarray) -> None:
+        out._send(values, _gather(grad, layout))
+
+    out = Tensor._make(out_data, (values,), backward)
+    return out
+
+
+def segment_mean(
+    values: Tensor,
+    segments: LayoutOrSegments,
+    num_segments: Optional[int] = None,
+) -> Tensor:
+    """Mean of entries per segment; empty segments yield 0."""
+    values = ensure_tensor(values)
+    layout = _resolve(segments, num_segments)
+    inv = 1.0 / np.maximum(layout.counts, 1).astype(values.dtype)
+    scale = inv.reshape((-1,) + (1,) * (values.ndim - 1))
+    out_data = _sum_data(values.data, layout) * scale
+
+    def backward(grad: np.ndarray) -> None:
+        out._send(values, _gather(grad * scale, layout))
+
+    out = Tensor._make(out_data, (values,), backward)
+    return out
+
+
+def segment_max(
+    values: Tensor,
+    segments: LayoutOrSegments,
+    num_segments: Optional[int] = None,
+) -> Tensor:
+    """Max of entries per segment; empty segments yield 0.
+
+    The gradient splits equally among tied maxima (matching
+    :meth:`Tensor.max`) so finite-difference checks stay exact.
+    """
+    values = ensure_tensor(values)
+    layout = _resolve(segments, num_segments)
+    out_data = _max_data(values.data, layout)
+    ties = (values.data == _gather(out_data, layout)).astype(values.dtype)
+    tie_counts = np.maximum(_sum_data(ties, layout), 1.0)
+
+    def backward(grad: np.ndarray) -> None:
+        out._send(values, ties * _gather(grad / tie_counts, layout))
+
+    out = Tensor._make(out_data, (values,), backward)
+    return out
+
+
+def segment_softmax(
+    scores: Tensor,
+    segments: LayoutOrSegments,
+    num_segments: Optional[int] = None,
+) -> Tensor:
+    """Softmax over groups of entries sharing a segment id.
+
+    The attention normalisation of ConvGAT/RGAT/LogCL: per-edge scores
+    are normalised over the incoming edges of each destination node.
+    Forward and backward are fused — one exp, two segment reductions,
+    and the classic ``y * (g - sum_seg(y * g))`` Jacobian product —
+    instead of the five-node autodiff chain the old implementation
+    recorded.
+    """
+    scores = ensure_tensor(scores)
+    if scores.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D scores (one per entry)")
+    layout = _resolve(segments, num_segments)
+    seg_max = _max_data(scores.data, layout)
+    shifted = scores.data - _gather(seg_max, layout)
+    exp = np.exp(shifted)
+    denom = _sum_data(exp, layout)
+    denom[~layout.nonempty] = 1.0
+    y = exp / _gather(denom, layout)
+
+    def backward(grad: np.ndarray) -> None:
+        weighted = y * grad
+        correction = _gather(_sum_data(weighted, layout), layout)
+        out._send(scores, weighted - y * correction)
+
+    out = Tensor._make(y, (scores,), backward)
+    return out

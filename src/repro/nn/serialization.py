@@ -46,13 +46,19 @@ def save_checkpoint(module: Module, path: str, metadata: Optional[Dict] = None) 
     """Write a module's parameters (plus JSON metadata) to ``path``.
 
     The archive holds one array per parameter keyed by its dotted name,
-    and a JSON metadata blob (training epoch, config, metrics, …).
-    Parent directories are created as needed.
+    and a JSON metadata blob (training epoch, config, metrics, …).  The
+    parameter dtype is recorded under the ``dtype`` metadata key so a
+    float32-trained checkpoint restores as float32 (exact round-trip)
+    regardless of the engine's default dtype at load time.  Parent
+    directories are created as needed.
     """
     state = module.state_dict()
+    meta = dict(metadata or {})
+    if state and "dtype" not in meta:
+        meta["dtype"] = str(next(iter(state.values())).dtype)
     payload = dict(state)
     payload[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)
@@ -75,13 +81,20 @@ def read_checkpoint_metadata(path: str) -> Dict:
             raise CheckpointError(f"corrupt metadata in {path!r}: {exc}") from exc
 
 
-def load_checkpoint(module: Module, path: str) -> Dict:
+def load_checkpoint(module: Module, path: str, restore_dtype: bool = True) -> Dict:
     """Restore parameters saved by :func:`save_checkpoint`.
 
     Returns the metadata dict.  Raises :class:`CheckpointError` when the
     archive's parameter names or shapes do not exactly match the
     module's ``state_dict``, listing every missing / unexpected /
     mis-shaped key.
+
+    With ``restore_dtype=True`` (the default) the module's parameters
+    adopt the checkpoint's dtype, so a float32-trained checkpoint
+    round-trips bit-exactly even into a float64-initialised module.
+    With ``restore_dtype=False`` a dtype disagreement raises
+    :class:`CheckpointError` listing the mismatched keys, alongside any
+    shape mismatches, instead of silently casting.
     """
     with _open_archive(path) as archive:
         metadata = {}
@@ -106,9 +119,17 @@ def load_checkpoint(module: Module, path: str) -> Dict:
         for name in own
         if state[name].shape != own[name].shape
     ]
+    bad_dtypes = [
+        f"{name}: checkpoint {state[name].dtype} vs module {own[name].dtype}"
+        for name in own
+        if state[name].dtype != own[name].dtype
+    ]
+    problems = []
     if bad_shapes:
-        raise CheckpointError(
-            f"checkpoint {path!r} has shape mismatches: " + "; ".join(bad_shapes)
-        )
-    module.load_state_dict(state)
+        problems.append("shape mismatches: " + "; ".join(bad_shapes))
+    if bad_dtypes and not restore_dtype:
+        problems.append("dtype mismatches: " + "; ".join(bad_dtypes))
+    if problems:
+        raise CheckpointError(f"checkpoint {path!r} has " + " | ".join(problems))
+    module.load_state_dict(state, restore_dtype=restore_dtype)
     return metadata

@@ -23,6 +23,48 @@ ArrayLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
 _GRAD_ENABLED = True
 
+# ----------------------------------------------------------------------
+# default dtype
+# ----------------------------------------------------------------------
+# Every tensor the engine creates is cast to the process-wide default
+# dtype.  float64 (the historical behaviour) is kept as the default so
+# gradcheck stays exact; float32 halves memory traffic on the training
+# and serving hot paths.
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the engine-wide tensor dtype (``float32`` or ``float64``).
+
+    Affects tensor creation, initialisers, and gradient accumulation.
+    Existing tensors keep their dtype.  Returns the previous default.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"unsupported default dtype {dtype!r}; expected float32 or float64"
+        )
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager that temporarily switches the default dtype."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
 
 def is_grad_enabled() -> bool:
     """Return whether gradient recording is currently active."""
@@ -59,14 +101,36 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 def ensure_tensor(value: ArrayLike) -> "Tensor":
     """Coerce numbers/arrays to a constant :class:`Tensor`."""
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    return Tensor(np.asarray(value, dtype=_DEFAULT_DTYPE))
+
+
+def scatter_rows_add(out: np.ndarray, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Accumulate ``values`` rows into ``out`` at ``indices``, buffered.
+
+    Drop-in replacement for ``np.add.at(out, indices, values)`` along
+    axis 0, built on a stable sort + ``np.add.reduceat`` so duplicate
+    indices are reduced in one buffered pass instead of numpy's slow
+    unbuffered per-element loop.  Mutates and returns ``out``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return out
+    if indices.size == 1:
+        out[indices[0]] += values[0] if values.ndim == out.ndim else values
+        return out
+    order = np.argsort(indices, kind="stable")
+    counts = np.bincount(indices, minlength=out.shape[0])
+    nonempty = counts > 0
+    starts = np.concatenate([[0], np.cumsum(counts)])[:-1][nonempty]
+    out[nonempty] += np.add.reduceat(np.asarray(values)[order], starts, axis=0)
+    return out
 
 
 class Tensor:
@@ -82,7 +146,7 @@ class Tensor:
     ):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -156,7 +220,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+            self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -172,7 +236,7 @@ class Tensor:
             if self.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -221,7 +285,7 @@ class Tensor:
         if key in sink:
             sink[key] += grad
         else:
-            sink[key] = np.asarray(grad, dtype=np.float64).copy()
+            sink[key] = np.asarray(grad, dtype=parent.data.dtype).copy()
 
     # ------------------------------------------------------------------
     # arithmetic
@@ -535,7 +599,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, indices, grad)
+            scatter_rows_add(full, indices.reshape(-1), grad.reshape((-1,) + self.shape[1:]))
             out._send(self, full)
 
         out = Tensor._make(out_data, (self,), backward)
@@ -544,14 +608,14 @@ class Tensor:
     def scatter_add(self, indices: np.ndarray, source: "Tensor") -> "Tensor":
         """Return a copy of ``self`` with ``source`` rows added at ``indices``.
 
-        This is the message-passing primitive: for GNN aggregation we
-        usually call it on a zero tensor of shape ``(num_nodes, d)`` with
-        per-edge messages of shape ``(num_edges, d)``.
+        Kept for operator parity; graph aggregation hot paths should use
+        the fused ops in :mod:`repro.nn.segment`, which reuse a cached
+        sorted-edge layout instead of re-sorting per call.
         """
         indices = np.asarray(indices, dtype=np.int64)
         source = ensure_tensor(source)
         out_data = self.data.copy()
-        np.add.at(out_data, indices, source.data)
+        scatter_rows_add(out_data, indices, source.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.window import HistoryWindow, WindowBuilder
 from repro.data.dataset import SplitView
+from repro.graphs.compiled import compiled_cache_stats
 
 
 class OnlineHistoryStore:
@@ -245,4 +246,13 @@ class OnlineHistoryStore:
                 "total_events": self._total_events,
                 "global_indexed_pairs": self._builder.global_builder.num_indexed_pairs,
                 "global_indexed_facts": self._builder.global_builder.num_indexed_facts,
+                # Window-level graph-build caches plus the process-wide
+                # compiled-layout counters: hits here mean requests are
+                # reusing graph builds/layouts instead of re-deriving
+                # them per forward pass.
+                "graph_caches": dict(
+                    self._builder.cache_stats(),
+                    compiled_builds=compiled_cache_stats()["builds"],
+                    compiled_hits=compiled_cache_stats()["hits"],
+                ),
             }

@@ -60,7 +60,7 @@ def check_gradients(fn, *arrays, tol=1e-4):
 
     def scalar_fn(*tensors):
         out = fn(*tensors)
-        return (out * out).sum() if out.size > 1 else out
+        return (out * out).sum() if out.size != 1 else out
 
     tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
     loss = scalar_fn(*tensors)

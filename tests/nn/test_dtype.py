@@ -1,0 +1,108 @@
+"""The dtype-configurable engine: default dtype plumbing and checkpoint
+dtype round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.serialization import CheckpointError, load_checkpoint, save_checkpoint
+from repro.nn.tensor import Tensor, default_dtype, get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_dtype():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+class TestDefaultDtype:
+    def test_float64_is_the_default(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_set_returns_previous(self):
+        assert set_default_dtype(np.float32) == np.float64
+        assert get_default_dtype() == np.float32
+
+    def test_rejects_non_float_dtypes(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            set_default_dtype(np.float16)
+
+    def test_context_manager_restores(self):
+        with default_dtype(np.float32):
+            assert Tensor([1.0]).data.dtype == np.float32
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_threads_through_init_and_modules(self):
+        with default_dtype(np.float32):
+            assert init.xavier_uniform((4, 4)).dtype == np.float32
+            assert init.zeros((3,)).dtype == np.float32
+            lin = nn.Linear(3, 2)
+            assert lin.weight.data.dtype == np.float32
+            emb = nn.Embedding(5, 4)
+            assert emb.weight.data.dtype == np.float32
+            assert F.one_hot(np.array([1]), 3).dtype == np.float32
+
+    def test_float32_forward_backward_stays_float32(self):
+        with default_dtype(np.float32):
+            lin = nn.Linear(4, 2)
+            out = lin(Tensor(np.ones((3, 4), dtype=np.float32)))
+            assert out.data.dtype == np.float32
+            (out * out).sum().backward()
+            assert lin.weight.grad.dtype == np.float32
+
+    def test_optimizer_preserves_param_dtype(self):
+        with default_dtype(np.float32):
+            lin = nn.Linear(4, 2)
+            opt = nn.Adam(lin.parameters(), lr=0.01)
+            loss = (lin(Tensor(np.ones((3, 4), dtype=np.float32))) ** 2).sum()
+            loss.backward()
+            opt.step()
+            assert lin.weight.data.dtype == np.float32
+
+
+class TestCheckpointDtype:
+    def test_float32_round_trips_exactly(self, tmp_path):
+        with default_dtype(np.float32):
+            lin = nn.Linear(5, 3)
+        path = str(tmp_path / "f32.npz")
+        save_checkpoint(lin, path)
+        # load into a float64-initialised clone: params adopt float32
+        clone = nn.Linear(5, 3)
+        assert clone.weight.data.dtype == np.float64
+        meta = load_checkpoint(clone, path)
+        assert meta["dtype"] == "float32"
+        assert clone.weight.data.dtype == np.float32
+        np.testing.assert_array_equal(clone.weight.data, lin.weight.data)  # bitwise
+
+    def test_restore_dtype_false_raises_on_mismatch(self, tmp_path):
+        with default_dtype(np.float32):
+            lin = nn.Linear(5, 3)
+        path = str(tmp_path / "f32.npz")
+        save_checkpoint(lin, path)
+        with pytest.raises(CheckpointError, match="dtype mismatches"):
+            load_checkpoint(nn.Linear(5, 3), path, restore_dtype=False)
+
+    def test_dtype_and_shape_mismatches_reported_together(self, tmp_path):
+        with default_dtype(np.float32):
+            lin = nn.Linear(5, 3)
+        path = str(tmp_path / "f32.npz")
+        save_checkpoint(lin, path)
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(nn.Linear(4, 3), path, restore_dtype=False)
+        message = str(err.value)
+        assert "shape mismatches" in message
+        assert "dtype mismatches" in message
+
+    def test_matching_dtype_loads_with_restore_dtype_false(self, tmp_path):
+        lin = nn.Linear(5, 3)
+        path = str(tmp_path / "f64.npz")
+        save_checkpoint(lin, path)
+        clone = nn.Linear(5, 3)
+        load_checkpoint(clone, path, restore_dtype=False)
+        np.testing.assert_array_equal(clone.weight.data, lin.weight.data)

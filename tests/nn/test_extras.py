@@ -53,7 +53,7 @@ class TestCheckpointing:
         nn.save_checkpoint(lin, path, metadata={"epoch": 7, "mrr": 0.4})
         clone = nn.Linear(3, 2)
         meta = nn.load_checkpoint(clone, path)
-        assert meta == {"epoch": 7, "mrr": 0.4}
+        assert meta == {"epoch": 7, "mrr": 0.4, "dtype": "float64"}
         np.testing.assert_allclose(clone.weight.data, lin.weight.data)
 
     def test_extension_appended_automatically(self, tmp_path):
@@ -75,7 +75,7 @@ class TestCheckpointing:
         lin = nn.Linear(2, 2)
         path = str(tmp_path / "c.npz")
         nn.save_checkpoint(lin, path)
-        assert nn.load_checkpoint(nn.Linear(2, 2), path) == {}
+        assert nn.load_checkpoint(nn.Linear(2, 2), path) == {"dtype": "float64"}
 
 
 class TestExtendedLosses:

@@ -1,0 +1,173 @@
+"""Gradcheck property tests for the fused segment reductions.
+
+Every op is validated against the dense one-hot matmul reference (the
+``"dense"`` impl) in both value and gradient, over layouts that exercise
+the edge cases real graphs produce: empty segments, a single edge, and
+non-contiguous destination ids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.segment import (
+    SegmentLayout,
+    get_segment_impl,
+    segment_impl,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    segment_sum_data,
+    set_segment_impl,
+)
+from repro.nn.tensor import Tensor
+from tests.conftest import check_gradients
+
+# (segments, num_segments) cases: empty segments interleaved,
+# single-edge graphs, and non-contiguous destination ids.
+CASES = [
+    pytest.param(np.array([0, 0, 1, 1, 1, 3]), 5, id="empty-segments"),
+    pytest.param(np.array([2]), 4, id="single-edge"),
+    pytest.param(np.array([7, 2, 7, 0, 2, 7, 11]), 13, id="non-contiguous"),
+    pytest.param(np.array([], dtype=np.int64), 3, id="no-edges"),
+    pytest.param(np.array([1, 1, 1, 1]), 2, id="one-hot-segment"),
+]
+
+OPS = [segment_sum, segment_mean, segment_max]
+
+
+def dense_reference(op, values, segments, num_segments):
+    with segment_impl("dense"):
+        return op(Tensor(values), segments, num_segments).data
+
+
+class TestImplSwitch:
+    def test_default_is_fused(self):
+        assert get_segment_impl() == "fused"
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError, match="unknown segment impl"):
+            set_segment_impl("turbo")
+
+    def test_context_restores(self):
+        with segment_impl("reference"):
+            assert get_segment_impl() == "reference"
+            with segment_impl("dense"):
+                assert get_segment_impl() == "dense"
+            assert get_segment_impl() == "reference"
+        assert get_segment_impl() == "fused"
+
+
+class TestLayout:
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SegmentLayout(np.array([0, 5]), 5)
+        with pytest.raises(ValueError, match="out of range"):
+            SegmentLayout(np.array([-1]), 5)
+
+    def test_csr_invariants(self):
+        layout = SegmentLayout(np.array([3, 0, 3, 1]), 6)
+        assert layout.num_entries == 4
+        np.testing.assert_array_equal(layout.counts, [1, 1, 0, 2, 0, 0])
+        np.testing.assert_array_equal(layout.indptr, [0, 1, 2, 2, 4, 4, 4])
+        np.testing.assert_array_equal(layout.nonempty, [1, 1, 0, 1, 0, 0])
+        np.testing.assert_array_equal(layout.starts, [0, 1, 2])
+        # stable sort keeps the two segment-3 entries in input order
+        np.testing.assert_array_equal(layout.segments[layout.order], [0, 1, 3, 3])
+
+    def test_num_segments_required_without_layout(self):
+        with pytest.raises(ValueError, match="num_segments"):
+            segment_sum(Tensor(np.ones(2)), np.array([0, 1]))
+
+
+class TestForwardAgainstDense:
+    @pytest.mark.parametrize("segments,num_segments", CASES)
+    @pytest.mark.parametrize("op", OPS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("impl", ["fused", "reference"])
+    def test_matches_dense(self, op, segments, num_segments, impl, rng):
+        values = rng.normal(size=(len(segments), 3))
+        expected = dense_reference(op, values, segments, num_segments)
+        with segment_impl(impl):
+            out = op(Tensor(values), segments, num_segments).data
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("segments,num_segments", CASES)
+    @pytest.mark.parametrize("impl", ["fused", "reference"])
+    def test_softmax_matches_dense(self, segments, num_segments, impl, rng):
+        scores = rng.normal(size=len(segments)) * 3
+        with segment_impl("dense"):
+            expected = segment_softmax(Tensor(scores), segments, num_segments).data
+        with segment_impl(impl):
+            out = segment_softmax(Tensor(scores), segments, num_segments).data
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_softmax_groups_sum_to_one(self, rng):
+        segments = np.array([0, 2, 0, 2, 2, 4])
+        out = segment_softmax(Tensor(rng.normal(size=6)), segments, 5)
+        sums = segment_sum_data(out.data, segments, 5)
+        np.testing.assert_allclose(sums[[0, 2, 4]], [1.0, 1.0, 1.0])
+        assert sums[1] == sums[3] == 0.0
+
+    def test_layout_and_raw_ids_agree(self, rng):
+        segments = np.array([4, 1, 4, 0])
+        layout = SegmentLayout(segments, 6)
+        values = rng.normal(size=(4, 2))
+        np.testing.assert_array_equal(
+            segment_sum(Tensor(values), layout).data,
+            segment_sum(Tensor(values), segments, 6).data,
+        )
+
+    def test_segment_sum_data_raw_numpy(self, rng):
+        segments = np.array([1, 1, 3])
+        values = rng.normal(size=(3, 2))
+        out = segment_sum_data(values, segments, 4)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_allclose(out[1], values[:2].sum(axis=0))
+        np.testing.assert_allclose(out[3], values[2])
+        assert out[0].sum() == out[2].sum() == 0.0
+
+
+class TestGradients:
+    @pytest.mark.parametrize("segments,num_segments", CASES)
+    @pytest.mark.parametrize(
+        "op", [segment_sum, segment_mean], ids=lambda f: f.__name__
+    )
+    @pytest.mark.parametrize("impl", ["fused", "reference", "dense"])
+    def test_linear_ops(self, op, segments, num_segments, impl, rng):
+        values = rng.normal(size=(len(segments), 2))
+        with segment_impl(impl):
+            check_gradients(lambda v: op(v, segments, num_segments), values)
+
+    @pytest.mark.parametrize("segments,num_segments", CASES)
+    @pytest.mark.parametrize("impl", ["fused", "reference"])
+    def test_max(self, segments, num_segments, impl, rng):
+        # well-separated values keep the argmax stable under the
+        # finite-difference probes
+        values = rng.permutation(len(segments) * 2).reshape(len(segments), 2) * 1.0
+        with segment_impl(impl):
+            check_gradients(lambda v: segment_max(v, segments, num_segments), values)
+
+    def test_max_tied_gradient_splits_equally(self):
+        values = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        out = segment_max(values, np.array([0, 0, 0]), 1)
+        out.backward()
+        np.testing.assert_allclose(values.grad, [0.5, 0.5, 0.0])
+
+    @pytest.mark.parametrize("segments,num_segments", CASES)
+    @pytest.mark.parametrize("impl", ["fused", "reference", "dense"])
+    def test_softmax(self, segments, num_segments, impl, rng):
+        scores = rng.normal(size=len(segments))
+        with segment_impl(impl):
+            check_gradients(
+                lambda s: segment_softmax(s, segments, num_segments), scores
+            )
+
+    def test_softmax_rejects_matrix_scores(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            segment_softmax(Tensor(rng.normal(size=(3, 2))), np.array([0, 1, 1]), 2)
+
+    def test_gradient_flows_through_layout_path(self, rng):
+        layout = SegmentLayout(np.array([0, 2, 2]), 4)
+        values = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        segment_sum(values, layout).sum().backward()
+        np.testing.assert_allclose(values.grad, np.ones((3, 2)))

@@ -28,7 +28,7 @@ class TestRoundTrip:
                             tiny_dataset.num_relations, dim=8)
         clone.eval()
         meta = load_checkpoint(clone, path)
-        assert meta == {"model": key}
+        assert meta == {"model": key, "dtype": "float64"}
 
         builder = WindowBuilder(tiny_dataset.num_entities,
                                 tiny_dataset.num_relations,
@@ -63,9 +63,10 @@ class TestRoundTrip:
         metadata = {"window": {"history_length": 4, "use_global": True},
                     "metrics": {"mrr": 0.31}, "model": "x"}
         save_checkpoint(lin, path, metadata=metadata)
-        assert read_checkpoint_metadata(path) == metadata
+        stored = dict(metadata, dtype="float64")
+        assert read_checkpoint_metadata(path) == stored
         clone = nn.Linear(3, 2)
-        assert load_checkpoint(clone, path) == metadata
+        assert load_checkpoint(clone, path) == stored
 
     def test_creates_parent_directories(self, tmp_path):
         lin = nn.Linear(2, 2)

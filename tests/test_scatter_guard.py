@@ -1,0 +1,39 @@
+"""Regression guard: the per-element scatter path must not creep back.
+
+The compute-plane refactor replaced every ``np.add.at`` /
+``np.maximum.at`` / ``Tensor.scatter_add`` call in the model code with
+the fused segment ops of ``repro.nn.segment``.  Those scatter primitives
+are unbuffered per-element loops; reintroducing one in a hot path would
+silently undo the throughput win.  This test fails on any new use inside
+``src/repro/core/`` or ``src/repro/baselines/``.
+
+The primitives legitimately remain in ``repro.nn`` itself (the autodiff
+fallbacks and the ``"reference"`` segment impl) — only the model layers
+are fenced.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+FENCED_DIRS = ("core", "baselines")
+FORBIDDEN = re.compile(r"np\.add\.at\(|np\.maximum\.at\(|\.scatter_add\(")
+
+
+def test_no_scatter_primitives_in_model_code():
+    offenders = []
+    for dirname in FENCED_DIRS:
+        for path in sorted((SRC / dirname).rglob("*.py")):
+            for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                if FORBIDDEN.search(line):
+                    offenders.append(f"{path.relative_to(SRC.parent.parent)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "unbuffered scatter primitives reappeared in model code; use "
+        "repro.nn.segment ops with a compiled layout instead:\n" + "\n".join(offenders)
+    )
+
+
+def test_guard_scans_the_real_tree():
+    # the fence is only meaningful if the directories exist and hold code
+    for dirname in FENCED_DIRS:
+        assert list((SRC / dirname).glob("*.py")), f"{dirname} not found — guard is vacuous"
