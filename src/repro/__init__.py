@@ -15,9 +15,18 @@ Top-level layout:
 - :mod:`repro.experiments` — regenerate every table/figure of the paper.
 - :mod:`repro.serving` — online inference: streaming ingestion,
   micro-batched top-k prediction, stdlib HTTP/CLI frontend.
+- :mod:`repro.obs` — observability plane: metrics registry (Prometheus
+  export), span tracer (Chrome trace_event), op-level autodiff
+  profiler, structured logging.
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
+
+# Library convention: the package root logger stays silent unless the
+# application (or `repro.obs.configure_logging`) attaches a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 _TOP_LEVEL = {
     "HisRES": ("repro.core", "HisRES"),
@@ -32,6 +41,11 @@ _TOP_LEVEL = {
     "MODEL_REGISTRY": ("repro.baselines", "MODEL_REGISTRY"),
     "InferenceEngine": ("repro.serving", "InferenceEngine"),
     "OnlineHistoryStore": ("repro.serving", "OnlineHistoryStore"),
+    "get_registry": ("repro.obs", "get_registry"),
+    "configure_logging": ("repro.obs", "configure_logging"),
+    "span": ("repro.obs", "span"),
+    "enable_tracing": ("repro.obs", "enable_tracing"),
+    "OpProfiler": ("repro.obs", "OpProfiler"),
 }
 
 

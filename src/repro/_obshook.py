@@ -1,0 +1,40 @@
+"""Zero-dependency profiling hook shared by the nn substrate and repro.obs.
+
+The autodiff profiler (:mod:`repro.obs.profiler`) needs to intercept the
+free functions of the tensor engine (``concat``, ``segment_sum``, ...),
+but those are imported *by value* into many module namespaces, so
+patching one module attribute would miss most call sites.  Instead the
+hot free functions are defined through :func:`profiled`, which routes
+through the module-level :data:`HOOK` when one is installed.
+
+The fast path is a single global load and ``None`` check per call — no
+allocation, no attribute chasing — so leaving instrumentation disabled
+costs effectively nothing.  This module must stay import-free (besides
+``functools``) to avoid cycles: ``repro.nn.tensor`` imports it, and the
+profiler imports ``repro.nn.tensor``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+# Set by repro.obs.profiler.OpProfiler.enable() to a callable
+# ``hook(name, phase, fn, args, kwargs) -> result``; None when disabled.
+HOOK = None
+
+
+def profiled(name: str):
+    """Decorator marking a free function as a profiler-visible op."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            hook = HOOK
+            if hook is None:
+                return fn(*args, **kwargs)
+            return hook(name, "forward", fn, args, kwargs)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

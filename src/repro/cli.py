@@ -10,8 +10,14 @@ Commands:
 - ``serve``     — run the online inference HTTP server from a checkpoint;
 - ``ingest``    — stream events to a running server;
 - ``predict``   — top-k query against a running server (or offline);
+- ``profile``   — run a few train/eval steps under the op-level
+  profiler; prints the per-op table and writes a Chrome trace;
 - ``table2|table3|table4|figure5`` — regenerate a paper artifact;
 - ``mechanisms``— per-mechanism capability profile of a model.
+
+Global flags: ``--log-level`` wires the ``repro`` loggers to stderr;
+``train``/``serve``/``profile`` accept ``--trace PATH`` to record spans
+as Chrome ``trace_event`` JSON (load in chrome://tracing or Perfetto).
 """
 
 from __future__ import annotations
@@ -46,9 +52,22 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _finish_trace(path: Optional[str]) -> None:
+    """Write and disable the global tracer if ``--trace`` was given."""
+    if path:
+        from repro.obs import disable_tracing
+
+        disable_tracing().write_chrome_trace(path)
+        print(f"wrote span trace to {path}", file=sys.stderr)
+
+
 def cmd_train(args) -> int:
     from repro.experiments.runner import RunConfig, run_model_on_dataset
 
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing(reset=True)
     dataset = _load_dataset(args)
     config = RunConfig(
         dim=args.dim,
@@ -58,7 +77,10 @@ def cmd_train(args) -> int:
         learning_rate=args.lr,
         seed=args.seed,
     )
-    row = run_model_on_dataset(args.model, dataset, config, save_path=args.save)
+    try:
+        row = run_model_on_dataset(args.model, dataset, config, save_path=args.save)
+    finally:
+        _finish_trace(args.trace)
     print(json.dumps(row, indent=2, default=float))
     return 0
 
@@ -137,6 +159,10 @@ def _build_engine(args):
 def cmd_serve(args) -> int:
     from repro.serving import create_server
 
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing(reset=True)
     engine = _build_engine(args)
     server = create_server(engine, host=args.host, port=args.port, verbose=args.verbose)
     print(f"serving {engine.model_key} at {server.url}  (Ctrl-C to stop)", flush=True)
@@ -146,6 +172,7 @@ def cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+        _finish_trace(args.trace)
     return 0
 
 
@@ -305,6 +332,80 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run a few training (and optionally eval) steps under the profiler.
+
+    Mirrors ``Trainer.train_epoch`` step-for-step but brackets each
+    region with :meth:`OpProfiler.block` (window build, forward,
+    backward, optimizer step, absorb) so that the per-op table accounts
+    for essentially all of the step wall-clock, then writes the
+    individual op invocations as a Chrome trace.
+    """
+    from repro.baselines import build_model
+    from repro.nn import clip_grad_norm_, no_grad
+    from repro.obs import OpProfiler, enable_tracing, span
+    from repro.training import Trainer
+
+    dataset = _load_dataset(args)
+    spec = MODEL_REGISTRY[args.model]
+    model = build_model(args.model, dataset.num_entities, dataset.num_relations, dim=args.dim)
+    trainer = Trainer(
+        model, dataset, history_length=args.history_length,
+        use_global=spec.requirements.global_graph or args.model == "hisres",
+        track_vocabulary=spec.requirements.vocabulary,
+        learning_rate=args.lr, seed=args.seed,
+    )
+    if args.trace:
+        enable_tracing(reset=True)
+    builder = trainer.window_builder
+    builder.reset()
+    items = sorted(dataset.train.facts_by_time().items())
+    train_left = int(args.steps)
+    eval_left = int(args.eval_steps)
+    train_steps = eval_steps = 0
+    prof = OpProfiler()
+    with prof:
+        for t, quads in items:
+            if train_left <= 0 and eval_left <= 0:
+                break
+            queries = trainer.evaluator.queries_with_inverse(quads)
+            if builder.history_filled and train_left > 0:
+                model.train()
+                with span("profile.train_step", t=int(t)), prof.block("train.step"):
+                    with prof.block("window_build"):
+                        window = builder.window_for(queries, prediction_time=t)
+                    model.zero_grad()
+                    with prof.block("forward"):
+                        loss = model.loss(window, queries)
+                    with prof.block("backward"):
+                        loss.backward()
+                    with prof.block("optimizer.step"):
+                        clip_grad_norm_(model.parameters(), trainer.grad_clip)
+                        trainer.optimizer.step()
+                train_left -= 1
+                train_steps += 1
+            elif builder.history_filled and eval_left > 0:
+                model.eval()
+                with span("profile.eval_step", t=int(t)), prof.block("eval.step"):
+                    with prof.block("window_build"):
+                        window = builder.window_for(queries, prediction_time=t)
+                    with no_grad(), prof.block("eval.predict"):
+                        model.predict_entities(window, queries)
+                eval_left -= 1
+                eval_steps += 1
+            with prof.block("absorb"):
+                builder.absorb(quads)
+    print(prof.format_table())
+    prof.write_chrome_trace(args.output)
+    print(
+        f"profiled {train_steps} train + {eval_steps} eval steps; "
+        f"wrote op trace to {args.output}",
+        file=sys.stderr,
+    )
+    _finish_trace(args.trace)
+    return 0
+
+
 def cmd_mechanisms(args) -> int:
     from repro.analysis import per_mechanism_metrics
     from repro.baselines import build_model
@@ -332,6 +433,10 @@ def cmd_mechanisms(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="attach a stderr handler to the 'repro' loggers (DEBUG/INFO/WARNING/...)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="write a synthetic profile to TSV")
@@ -355,6 +460,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3)
     p.add_argument("--save", default=None, metavar="PATH",
                    help="checkpoint the trained model (weights + serving metadata)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record training spans as Chrome trace_event JSON")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("eval", help="evaluate a saved checkpoint (no training)")
@@ -378,6 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-window-ms", type=float, default=2.0,
                    help="micro-batch coalescing window (0 disables the wait)")
     p.add_argument("--verbose", action="store_true", help="log every request")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record request spans; written on shutdown")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("ingest", help="stream events to a running server")
@@ -414,6 +523,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure5", help="regenerate figure 5")
     p.add_argument("panel", choices=["a", "b"])
     p.set_defaults(func=cmd_figure5)
+
+    p = sub.add_parser("profile", help="profile a few train/eval steps per op")
+    p.add_argument("model", nargs="?", default="hisres", choices=sorted(MODEL_REGISTRY))
+    p.add_argument("dataset", nargs="?", default="unit_tiny",
+                   help="profile name or .tsv path (default: unit_tiny)")
+    p.add_argument("--steps", type=int, default=8,
+                   help="training steps (timestamps) to profile")
+    p.add_argument("--eval-steps", type=int, default=0,
+                   help="additional no-grad prediction steps to profile")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--history-length", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--output", default="profile.json", metavar="PATH",
+                   help="Chrome trace_event JSON of individual op calls")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also record coarse spans to this path")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("mechanisms", help="per-mechanism capability profile")
     p.add_argument("model", choices=sorted(MODEL_REGISTRY))
@@ -460,6 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -23,6 +23,7 @@ Graph builds are cached at the window level so they are paid once per
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -33,6 +34,15 @@ from repro.graphs.global_graph import GlobalGraphBuilder
 from repro.graphs.history import HistoryVocabulary
 from repro.graphs.merge import merge_snapshots
 from repro.graphs.snapshot import SnapshotGraph, build_snapshot
+from repro.obs.metrics import get_registry
+
+# Each builder instance owns one labeled series per (cache, event) pair
+# on the process-wide registry, so ``cache_stats()`` keeps per-instance
+# semantics while ``GET /metrics`` exports the very same counters —
+# one source of truth, no double bookkeeping.
+_BUILDER_IDS = itertools.count()
+_CACHES = ("snapshot", "merged", "global")
+_EVENTS = ("build", "hit")
 
 
 def _fingerprint(quads: np.ndarray) -> Tuple[int, int, int]:
@@ -115,13 +125,16 @@ class WindowBuilder:
         self._snapshot_cache: "OrderedDict[Tuple, SnapshotGraph]" = OrderedDict()
         self._merged_cache: "OrderedDict[Tuple, SnapshotGraph]" = OrderedDict()
         self._global_cache: "OrderedDict[Tuple, SnapshotGraph]" = OrderedDict()
-        self._cache_stats = {
-            "snapshot_builds": 0,
-            "snapshot_hits": 0,
-            "merged_builds": 0,
-            "merged_hits": 0,
-            "global_builds": 0,
-            "global_hits": 0,
+        family = get_registry().counter(
+            "repro_window_cache_events_total",
+            "Window-level graph cache builds/hits per WindowBuilder.",
+            labelnames=("builder", "cache", "event"),
+        )
+        builder_id = f"wb{next(_BUILDER_IDS)}"
+        self._cache_counters = {
+            f"{cache}_{event}s": family.labels(builder=builder_id, cache=cache, event=event)
+            for cache in _CACHES
+            for event in _EVENTS
         }
 
     def reset(self) -> None:
@@ -147,8 +160,12 @@ class WindowBuilder:
         return self._version
 
     def cache_stats(self) -> Dict[str, int]:
-        """Build/hit counters of the window-level graph caches."""
-        return dict(self._cache_stats)
+        """Build/hit counters of the window-level graph caches.
+
+        Per-instance view over this builder's labeled series on the
+        :mod:`repro.obs` metrics registry (also scraped by /metrics).
+        """
+        return {key: int(counter.value) for key, counter in self._cache_counters.items()}
 
     def _cache_get(self, cache: "OrderedDict", key) -> Optional[SnapshotGraph]:
         graph = cache.get(key)
@@ -179,9 +196,9 @@ class WindowBuilder:
             if global_graph is None:
                 global_graph = self._global.build(pairs, now=prediction_time)
                 self._cache_put(self._global_cache, key, global_graph)
-                self._cache_stats["global_builds"] += 1
+                self._cache_counters["global_builds"].inc()
             else:
-                self._cache_stats["global_hits"] += 1
+                self._cache_counters["global_hits"].inc()
         masks = counts = None
         if self._vocab is not None:
             queries = np.asarray(queries, dtype=np.int64)
@@ -222,9 +239,9 @@ class WindowBuilder:
                     self.num_relations,
                 )
                 self._cache_put(self._merged_cache, key, graph)
-                self._cache_stats["merged_builds"] += 1
+                self._cache_counters["merged_builds"].inc()
             else:
-                self._cache_stats["merged_hits"] += 1
+                self._cache_counters["merged_hits"].inc()
             merged.append(graph)
         return merged
 
@@ -238,9 +255,9 @@ class WindowBuilder:
         if graph is None:
             graph = build_snapshot(quads, self.num_entities, self.num_relations)
             self._cache_put(self._snapshot_cache, fp, graph)
-            self._cache_stats["snapshot_builds"] += 1
+            self._cache_counters["snapshot_builds"].inc()
         else:
-            self._cache_stats["snapshot_hits"] += 1
+            self._cache_counters["snapshot_hits"].inc()
         self._absorb_count += 1
         self._version = hash((self._version, fp))
         self._recent_quads.append(quads)

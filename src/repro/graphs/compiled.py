@@ -11,8 +11,10 @@ every step, every epoch.
 :class:`CompiledGraph` computes them once and
 :func:`compiled` memoizes the build on the graph instance, so all
 layers, steps, epochs, and serving requests touching the same graph
-share one build.  Process-wide hit/build counters feed the serving
-``/stats`` endpoint and cache-efficiency tests.
+share one build.  The process-wide hit/build counters live on the
+:mod:`repro.obs` metrics registry — the same objects back the serving
+``/stats`` endpoint, the Prometheus ``/metrics`` exposition, and the
+cache-efficiency tests.
 
 Graphs are treated as immutable once compiled (every builder in this
 repo constructs edge arrays exactly once); mutating ``src``/``rel``/
@@ -27,10 +29,20 @@ import numpy as np
 
 from repro.graphs.snapshot import SnapshotGraph
 from repro.nn.segment import SegmentLayout
+from repro.obs.metrics import get_registry
 
 __all__ = ["CompiledGraph", "compiled", "compiled_cache_stats", "reset_compiled_cache_stats"]
 
-_STATS = {"builds": 0, "hits": 0}
+# Bound once to the child Counter objects (not the families) so the
+# per-call cost on the compute-plane hot path is a plain locked add.
+_BUILDS = get_registry().counter(
+    "repro_compiled_graph_builds_total",
+    "CompiledGraph layout builds (memoization misses).",
+).labels()
+_HITS = get_registry().counter(
+    "repro_compiled_graph_hits_total",
+    "CompiledGraph layout reuses (memoization hits).",
+).labels()
 
 
 class CompiledGraph:
@@ -100,19 +112,23 @@ def compiled(graph: SnapshotGraph) -> CompiledGraph:
     """
     cached = getattr(graph, "_compiled", None)
     if cached is not None:
-        _STATS["hits"] += 1
+        _HITS.inc()
         return cached
     built = CompiledGraph(graph)
     graph._compiled = built
-    _STATS["builds"] += 1
+    _BUILDS.inc()
     return built
 
 
 def compiled_cache_stats() -> Dict[str, int]:
-    """Process-wide compiled-graph build/hit counters (for ``/stats``)."""
-    return dict(_STATS)
+    """Process-wide compiled-graph build/hit counters (for ``/stats``).
+
+    Reads the ``repro_compiled_graph_{builds,hits}_total`` counters of
+    the default metrics registry — the same series ``/metrics`` exports.
+    """
+    return {"builds": int(_BUILDS.value), "hits": int(_HITS.value)}
 
 
 def reset_compiled_cache_stats() -> None:
-    _STATS["builds"] = 0
-    _STATS["hits"] = 0
+    _BUILDS.reset()
+    _HITS.reset()

@@ -39,6 +39,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro._obshook import profiled
 from repro.nn.tensor import Tensor, ensure_tensor
 
 __all__ = [
@@ -198,6 +199,7 @@ def segment_sum_data(
 # ----------------------------------------------------------------------
 # autodiff ops
 # ----------------------------------------------------------------------
+@profiled("segment_sum")
 def segment_sum(
     values: Tensor,
     segments: LayoutOrSegments,
@@ -219,6 +221,7 @@ def segment_sum(
     return out
 
 
+@profiled("segment_mean")
 def segment_mean(
     values: Tensor,
     segments: LayoutOrSegments,
@@ -238,6 +241,7 @@ def segment_mean(
     return out
 
 
+@profiled("segment_max")
 def segment_max(
     values: Tensor,
     segments: LayoutOrSegments,
@@ -261,6 +265,7 @@ def segment_max(
     return out
 
 
+@profiled("segment_softmax")
 def segment_softmax(
     scores: Tensor,
     segments: LayoutOrSegments,

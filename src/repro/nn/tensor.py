@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro._obshook import profiled
+
 Scalar = Union[int, float]
 ArrayLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
@@ -640,6 +642,7 @@ class Tensor:
         return self.data <= _as_array(other)
 
 
+@profiled("concat")
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [ensure_tensor(t) for t in tensors]
@@ -658,6 +661,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled("stack")
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [ensure_tensor(t) for t in tensors]
@@ -673,6 +677,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled("where")
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise select with gradients flowing to both branches."""
     condition = np.asarray(condition, dtype=bool)

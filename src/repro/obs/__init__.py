@@ -1,0 +1,66 @@
+"""repro.obs — the unified observability plane.
+
+One package gives training and serving the same three instruments:
+
+- :mod:`repro.obs.metrics` — a process-wide **metrics registry**
+  (counters, gauges, bounded histograms; labeled series; Prometheus
+  text exposition via ``GET /metrics``).  The HTTP latency histograms,
+  compiled-graph build/hit counters, window-builder cache counters, and
+  trainer gauges all live here — ``/stats`` and ``/metrics`` read the
+  same objects.
+- :mod:`repro.obs.trace` — a **span tracer**: nested context-manager
+  spans with attributes, exported as Chrome ``trace_event`` JSON or a
+  human-readable tree.  Disabled spans are a shared no-op object.
+- :mod:`repro.obs.profiler` — an **op-level autodiff profiler** that
+  patches the tensor engine while enabled and restores it on disable,
+  attributing forward *and* backward time (total/self) plus allocated
+  bytes to each named op.  ``python -m repro.cli profile`` drives it.
+
+Everything is zero-cost when disabled: the tracer fast path is one flag
+check, and the profiler leaves no wrapper installed.
+"""
+
+from repro.obs.logging import LOG_FORMAT, configure_logging, log_event
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.profiler import OpProfiler, active_profiler
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LOG_FORMAT",
+    "MetricFamily",
+    "MetricsRegistry",
+    "OpProfiler",
+    "REGISTRY",
+    "SpanRecord",
+    "Tracer",
+    "active_profiler",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "log_event",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,67 @@
+"""Structured logging for the ``repro`` package.
+
+Every module logs through the standard :mod:`logging` tree under the
+``"repro"`` root logger (a ``NullHandler`` is attached in
+``repro/__init__`` so importing the library never configures handlers —
+library best practice).  Applications and the CLI opt into output with
+:func:`configure_logging`, and instrumented code emits *structured*
+events with :func:`log_event`: a stable ``event key=value ...`` text
+line plus the raw fields attached to the log record (``record.event``,
+``record.fields``) for machine consumers such as JSON handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Dict, Optional
+
+__all__ = ["configure_logging", "log_event", "LOG_FORMAT"]
+
+LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+_HANDLER: Optional[logging.Handler] = None
+
+
+def configure_logging(level="INFO", stream=None, fmt: str = LOG_FORMAT) -> logging.Logger:
+    """Attach (or retune) one stream handler on the ``repro`` logger.
+
+    Idempotent: repeated calls adjust the level of the handler installed
+    by the first call instead of stacking duplicates.  Returns the
+    ``repro`` logger.
+    """
+    global _HANDLER
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if _HANDLER is None or _HANDLER not in logger.handlers:
+        _HANDLER = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        _HANDLER.setFormatter(logging.Formatter(fmt))
+        logger.addHandler(_HANDLER)
+    _HANDLER.setLevel(level)
+    if stream is not None:
+        _HANDLER.setStream(stream)
+    return logger
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def log_event(logger: logging.Logger, event: str, _level: int = logging.INFO, **fields) -> None:
+    """Emit one structured event: ``event key=value ...``.
+
+    ``fields`` with value ``None`` are dropped.  The raw event name and
+    field dict ride along on the record (``extra``) so custom handlers
+    can serialise them without re-parsing the message.
+    """
+    if not logger.isEnabledFor(_level):
+        return
+    present: Dict[str, object] = {k: v for k, v in fields.items() if v is not None}
+    message = " ".join(
+        [event] + [f"{key}={_format_value(value)}" for key, value in present.items()]
+    )
+    logger.log(_level, message, extra={"event": event, "fields": present})

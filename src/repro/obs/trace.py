@@ -1,0 +1,267 @@
+"""Span tracing: nested context-manager spans with Chrome-trace export.
+
+A :class:`Tracer` records wall-clock spans — "where did this predict
+request / training epoch spend its time" — as a tree::
+
+    tracer = enable_tracing(reset=True)
+    with tracer.span("train.epoch", epoch=3):
+        with tracer.span("train.step", t=17):
+            ...
+    tracer.write_chrome_trace("trace.json")   # chrome://tracing / Perfetto
+    print(tracer.format_tree())               # human-readable dump
+
+Spans nest per thread (a thread-local stack tracks the open span), can
+carry arbitrary attributes, and are bounded: after ``max_spans``
+finished spans the tracer counts drops instead of growing without
+limit.
+
+Instrumentation call sites use the module-level :func:`span` helper,
+which returns a shared no-op context manager while tracing is disabled
+— the fast path is one global flag check and no allocation, so the
+serving and training hot paths pay nothing until ``--trace`` turns the
+tracer on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_tracer",
+    "span",
+]
+
+
+class SpanRecord:
+    """One finished (or open) span in the trace tree."""
+
+    __slots__ = ("name", "start", "end", "parent", "thread_id", "attrs")
+
+    def __init__(self, name: str, start: float, parent: Optional["SpanRecord"], thread_id: int, attrs: Dict):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent = parent
+        self.thread_id = thread_id
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and seals it on exit."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        self._tracer._push(self._record)
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._record.attrs.setdefault("error", repr(exc))
+        self._tracer._pop(self._record)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans; thread-safe; bounded at ``max_spans`` records."""
+
+    def __init__(self, max_spans: int = 100_000, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a nested span; use as a context manager."""
+        record = SpanRecord(
+            str(name),
+            self._clock() - self._t0,
+            self._current(),
+            threading.get_ident(),
+            attrs,
+        )
+        return _SpanContext(self, record)
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current(self) -> Optional[SpanRecord]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, record: SpanRecord) -> None:
+        # Re-anchor: nesting is decided at __enter__, not at span() call.
+        record.parent = self._current()
+        record.start = self._clock() - self._t0
+        self._stack().append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        record.end = self._clock() - self._t0
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+        self._t0 = self._clock()
+
+    def spans(self) -> List[SpanRecord]:
+        """Finished spans, ordered by start time."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s.start, s.end or s.start))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` JSON (complete 'X' events, µs units)."""
+        pid = os.getpid()
+        events = []
+        for record in self.spans():
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": round(record.start * 1e6, 3),
+                    "dur": round(record.duration * 1e6, 3),
+                    "pid": pid,
+                    "tid": record.thread_id,
+                    "args": {k: _jsonable(v) for k, v in record.attrs.items()},
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }
+
+    def write_chrome_trace(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+        return path
+
+    def format_tree(self) -> str:
+        """Indented per-thread tree dump with durations and attributes."""
+        spans = self.spans()
+        children: Dict[Optional[int], List[SpanRecord]] = {}
+        for record in spans:
+            key = id(record.parent) if record.parent is not None else None
+            children.setdefault(key, []).append(record)
+        out = io.StringIO()
+
+        def walk(record: SpanRecord, depth: int) -> None:
+            attrs = " ".join(f"{k}={v}" for k, v in record.attrs.items())
+            attrs = f"  [{attrs}]" if attrs else ""
+            out.write(
+                f"{'  ' * depth}{record.name}  {record.duration * 1e3:.3f} ms{attrs}\n"
+            )
+            for child in children.get(id(record), []):
+                walk(child, depth + 1)
+
+        roots = children.get(None, [])
+        by_thread: Dict[int, List[SpanRecord]] = {}
+        for record in roots:
+            by_thread.setdefault(record.thread_id, []).append(record)
+        for thread_id in sorted(by_thread):
+            out.write(f"thread {thread_id}\n")
+            for record in by_thread[thread_id]:
+                walk(record, 1)
+        if self.dropped:
+            out.write(f"({self.dropped} spans dropped past max_spans={self.max_spans})\n")
+        return out.getvalue()
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# module-level switchboard: zero-cost spans when disabled
+# ----------------------------------------------------------------------
+_GLOBAL_TRACER = Tracer()
+_ENABLED = False
+
+
+def enable_tracing(reset: bool = False, max_spans: Optional[int] = None) -> Tracer:
+    """Turn on the global tracer (optionally clearing prior spans)."""
+    global _ENABLED
+    if reset:
+        _GLOBAL_TRACER.reset()
+    if max_spans is not None:
+        _GLOBAL_TRACER.max_spans = int(max_spans)
+    _ENABLED = True
+    return _GLOBAL_TRACER
+
+
+def disable_tracing() -> Tracer:
+    """Stop recording spans; already-recorded spans stay exportable."""
+    global _ENABLED
+    _ENABLED = False
+    return _GLOBAL_TRACER
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+def get_tracer() -> Tracer:
+    return _GLOBAL_TRACER
+
+
+def span(name: str, **attrs):
+    """Global-tracer span; a shared no-op object while tracing is off."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _GLOBAL_TRACER.span(name, **attrs)

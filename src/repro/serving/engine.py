@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.serialization import load_checkpoint, read_checkpoint_metadata
+from repro.obs.trace import span
 from repro.serving.cache import LRUCache
 from repro.serving.store import OnlineHistoryStore
 
@@ -198,7 +199,8 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def ingest(self, events, timestamp: Optional[int] = None) -> Dict[str, object]:
         """Stream events into the history store."""
-        return self.store.ingest(events, timestamp=timestamp)
+        with span("engine.ingest"):
+            return self.store.ingest(events, timestamp=timestamp)
 
     def flush(self) -> bool:
         """Seal the open snapshot so it becomes visible to predictions."""
@@ -223,10 +225,11 @@ class InferenceEngine:
             for i, (s, r) in enumerate(todo):
                 queries[i, 0] = s
                 queries[i, 1] = r
-            with self._model_lock:
-                window = self.store.window_for(queries)
-                scores = np.asarray(self.model.predict_entities(window, queries))
-                self._predict_calls += 1
+            with span("engine.predict_batch", batch=len(pairs), misses=len(todo)):
+                with self._model_lock:
+                    window = self.store.window_for(queries)
+                    scores = np.asarray(self.model.predict_entities(window, queries))
+                    self._predict_calls += 1
             for i, pair in enumerate(todo):
                 results[pair] = scores[i]
                 self.cache.put((self.model_key,) + pair + (version,), scores[i])

@@ -5,6 +5,9 @@ Routes (see ``docs/serving.md`` for full request/response schemas):
 - ``GET  /health``  — liveness + model identity.
 - ``GET  /stats``   — per-endpoint latency percentiles / throughput,
   engine cache + batching counters, store state.
+- ``GET  /metrics`` — the process-wide :mod:`repro.obs` registry in
+  Prometheus text exposition format (request latency histograms, cache
+  hit/miss counters, window version, ...).
 - ``POST /ingest``  — stream events; ``{"events": [[s, r, o], ...],
   "timestamp": t}`` or ``{"quads": [[s, r, o, t], ...]}``; optional
   ``"flush": true`` seals the open snapshot immediately.
@@ -23,6 +26,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import span
 from repro.serving.engine import InferenceEngine
 from repro.serving.stats import ServerStats
 
@@ -75,12 +80,29 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     # ------------------------------------------------------------------
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         name = f"{method} {path}"
         started = self.stats.timer()
         try:
+            if name == "GET /metrics":
+                # Prometheus exposition is plain text, not JSON.
+                with span("http.request", route=name):
+                    self._send_text(
+                        self.server.registry.render_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                self.stats.record(name, started)
+                return
             handler = {
                 "GET /health": self._handle_health,
                 "GET /stats": self._handle_stats,
@@ -90,7 +112,8 @@ class ServingHandler(BaseHTTPRequestHandler):
             if handler is None:
                 self._send_json({"error": f"unknown route {name!r}"}, status=404)
                 return
-            payload, status = handler()
+            with span("http.request", route=name):
+                payload, status = handler()
             self._send_json(payload, status=status)
             self.stats.record(name, started, error=status >= 400)
         except BadRequest as exc:
@@ -174,6 +197,59 @@ class ServingHandler(BaseHTTPRequestHandler):
         )
 
 
+def _engine_collector(engine: InferenceEngine, registry: MetricsRegistry):
+    """Bridge engine-owned counters onto the registry at scrape time.
+
+    The engine's LRU cache, micro-batcher, and store keep their own
+    counters (they predate the registry and back ``/stats`` directly);
+    rather than double-count, this collector refreshes registry series
+    from those owners right before every ``/metrics`` render.
+    """
+    window_version = registry.gauge(
+        "repro_window_version", "History-store window version (bumps per sealed snapshot)."
+    )
+    cache_events = registry.counter(
+        "repro_prediction_cache_events_total",
+        "Prediction-cache hits/misses/evictions.",
+        labelnames=("event",),
+    )
+    cache_entries = registry.gauge(
+        "repro_prediction_cache_entries", "Prediction-cache resident entries."
+    )
+    queries = registry.counter(
+        "repro_engine_queries_served_total", "Queries answered by the engine."
+    )
+    forwards = registry.counter(
+        "repro_engine_predict_calls_total", "Model forward passes executed."
+    )
+    batches = registry.counter(
+        "repro_batcher_batches_total", "Micro-batches executed."
+    )
+    batched = registry.counter(
+        "repro_batcher_batched_queries_total", "Queries coalesced into micro-batches."
+    )
+    store_gauges = registry.gauge(
+        "repro_store_events", "History-store event counts.", labelnames=("state",)
+    )
+
+    def collect() -> None:
+        stats = engine.stats()
+        store, cache, batching = stats["store"], stats["cache"], stats["batching"]
+        window_version.set(store["window_version"])
+        for event in ("hits", "misses", "evictions"):
+            cache_events.labels(event=event).inc_to(cache[event])
+        cache_entries.set(cache["entries"])
+        queries.inc_to(stats["queries_served"])
+        forwards.inc_to(stats["predict_calls"])
+        batches.inc_to(batching["batches"])
+        batched.inc_to(batching["batched_queries"])
+        store_gauges.labels(state="pending").set(store["pending_events"])
+        store_gauges.labels(state="total").set(store["total_events"])
+        store_gauges.labels(state="sealed_snapshots").set(store["sealed_snapshots"])
+
+    return collect
+
+
 class ServingServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the engine + stats singletons."""
 
@@ -182,8 +258,16 @@ class ServingServer(ThreadingHTTPServer):
     def __init__(self, address, engine: InferenceEngine, verbose: bool = False):
         super().__init__(address, ServingHandler)
         self.engine = engine
-        self.stats = ServerStats()
+        self.registry = get_registry()
+        self.stats = ServerStats(registry=self.registry)
         self.verbose = verbose
+        self._collector = self.registry.register_collector(
+            _engine_collector(engine, self.registry)
+        )
+
+    def server_close(self) -> None:
+        self.registry.unregister_collector(self._collector)
+        super().server_close()
 
     @property
     def url(self) -> str:

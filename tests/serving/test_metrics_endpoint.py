@@ -1,0 +1,123 @@
+"""GET /metrics: Prometheus exposition over the live serving plane."""
+
+import re
+import urllib.request
+
+import json
+
+import pytest
+
+from repro.baselines import build_model
+from repro.nn.serialization import save_checkpoint
+from repro.serving import InferenceEngine, serve_in_thread
+
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+_SAMPLE_RE = re.compile(
+    rf"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{{{_LABEL}(,{_LABEL})*\}})? -?[0-9eE+.]+(\+Inf)?$"
+)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    from repro.data.profiles import DatasetProfile
+    from repro.data.synthetic import SyntheticTKGGenerator
+
+    dataset = SyntheticTKGGenerator(DatasetProfile(
+        name="metrics_tiny", num_entities=20, num_relations=4,
+        num_timestamps=16, facts_per_snapshot=8,
+        time_granularity="1 step", seed=7,
+    )).generate()
+    model = build_model("distmult", 20, 4, dim=8)
+    path = str(tmp_path_factory.mktemp("ckpt") / "model.npz")
+    save_checkpoint(model, path, metadata={
+        "model": "distmult", "num_entities": 20, "num_relations": 4, "dim": 8,
+        "window": {"history_length": 2, "use_global": False},
+    })
+    engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)
+    engine.store.warm_up(dataset.train)
+    server, thread = serve_in_thread(engine)
+    yield server, engine
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.headers, response.read().decode()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read().decode())
+
+
+class TestMetricsEndpoint:
+    def test_content_type_and_exposition_validity(self, served):
+        server, _ = served
+        headers, text = _get(server.url + "/metrics")
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) ", line), line
+            else:
+                assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+
+    def test_request_latency_histogram_exported(self, served):
+        server, _ = served
+        _get(server.url + "/health")
+        _, text = _get(server.url + "/metrics")
+        assert 'repro_http_request_latency_seconds_bucket{route="GET /health",le="+Inf"}' in text
+        assert 'repro_http_request_latency_seconds_count{route="GET /health"}' in text
+        assert 'repro_http_requests_total{route="GET /health"}' in text
+
+    def test_cache_and_engine_counters_exported(self, served):
+        server, engine = served
+        _post(server.url + "/predict", {"subject": 1, "relation": 1})
+        _post(server.url + "/predict", {"subject": 1, "relation": 1})  # cache hit
+        _, text = _get(server.url + "/metrics")
+        hits = re.search(
+            r'repro_prediction_cache_events_total\{event="hits"\} (\d+)', text
+        )
+        misses = re.search(
+            r'repro_prediction_cache_events_total\{event="misses"\} (\d+)', text
+        )
+        assert hits and misses
+        assert int(hits.group(1)) >= 1
+        assert int(misses.group(1)) >= 1
+        # bridged counts agree with the owner (the LRU cache)
+        assert int(hits.group(1)) == engine.cache.stats()["hits"]
+        assert "repro_engine_queries_served_total" in text
+        assert "repro_compiled_graph_builds_total" in text
+        assert "repro_window_cache_events_total" in text
+
+    def test_window_version_gauge_tracks_store(self, served):
+        server, engine = served
+        _, text = _get(server.url + "/metrics")
+        version = re.search(r"^repro_window_version (\d+)$", text, re.M)
+        assert version and int(version.group(1)) == engine.store.window_version
+        _post(server.url + "/ingest", {
+            "events": [[0, 0, 1]],
+            "timestamp": engine.store.current_time + 1,
+            "flush": True,
+        })
+        _, text = _get(server.url + "/metrics")
+        version = re.search(r"^repro_window_version (\d+)$", text, re.M)
+        assert int(version.group(1)) == engine.store.window_version
+
+    def test_stats_and_metrics_agree(self, served):
+        """/stats and /metrics must read the same underlying objects."""
+        server, _ = served
+        _get(server.url + "/health")
+        _, stats_text = _get(server.url + "/stats")
+        stats = json.loads(stats_text)["server"]["endpoints"]["GET /health"]
+        _, text = _get(server.url + "/metrics")
+        # /metrics was rendered after /stats, so it saw >= that count
+        exported = int(re.search(
+            r'repro_http_requests_total\{route="GET /health"\} (\d+)', text
+        ).group(1))
+        assert exported >= stats["requests"]

@@ -79,3 +79,47 @@ class TestNewCommands:
         assert code == 0
         summary = json.loads(capsys.readouterr().out)
         assert "history_dependence" in summary
+
+
+class TestProfileCommand:
+    def test_profile_writes_trace_and_table(self, tmp_path, capsys):
+        output = str(tmp_path / "profile.json")
+        trace = str(tmp_path / "trace.json")
+        code = main([
+            "profile", "distmult", "unit_tiny",
+            "--steps", "2", "--eval-steps", "1", "--dim", "8",
+            "--output", output, "--trace", trace,
+        ])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "wall-clock" in table and "attributed" in table
+        payload = json.load(open(output))
+        assert payload["traceEvents"], "profile trace has no events"
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        # the per-op table must attribute >= 90% of the step wall-clock
+        assert payload["otherData"]["attributed_fraction"] >= 0.9
+        spans = json.load(open(trace))["traceEvents"]
+        assert any(e["name"] == "profile.train_step" for e in spans)
+
+    def test_profile_default_arguments(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "distmult", "--steps", "1", "--dim", "8"]) == 0
+        assert os.path.exists("profile.json")
+
+    def test_train_trace_flag(self, tmp_path, capsys):
+        trace = str(tmp_path / "train_trace.json")
+        code = main([
+            "train", "distmult", "unit_tiny",
+            "--dim", "8", "--epochs", "1", "--patience", "1",
+            "--trace", trace,
+        ])
+        assert code == 0
+        names = {e["name"] for e in json.load(open(trace))["traceEvents"]}
+        assert {"train.fit", "train.epoch", "train.step"} <= names
+
+    def test_log_level_flag(self, capsys):
+        assert main([
+            "--log-level", "INFO",
+            "stats", "unit_tiny",
+        ]) == 0
+        json.loads(capsys.readouterr().out)

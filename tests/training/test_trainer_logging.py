@@ -1,0 +1,75 @@
+"""Trainer observability: structured epoch logs, gauges, spans."""
+
+import logging
+
+import pytest
+
+from repro.baselines import build_model
+from repro.data import generate_dataset
+from repro.obs.metrics import get_registry
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset("unit_tiny")
+
+
+def _trainer(dataset):
+    model = build_model("distmult", dataset.num_entities, dataset.num_relations, dim=8)
+    return Trainer(model, dataset, history_length=2, use_global=False, seed=0)
+
+
+class TestStructuredLogging:
+    def test_epoch_events_logged_with_fields(self, dataset, caplog):
+        trainer = _trainer(dataset)
+        with caplog.at_level(logging.INFO, logger="repro.training"):
+            trainer.fit(epochs=2, verbose=False)
+        epoch_records = [r for r in caplog.records if getattr(r, "event", None) == "epoch"]
+        assert len(epoch_records) == 2
+        record = epoch_records[0]
+        assert record.fields["epoch"] == 0
+        assert "loss" in record.fields and "valid_mrr" in record.fields
+        assert "grad_norm" in record.fields
+        assert "epoch=0" in record.getMessage()
+
+    def test_no_print_fallback(self, dataset, capsys):
+        trainer = _trainer(dataset)
+        trainer.fit(epochs=1, verbose=False)
+        assert "epoch 0" not in capsys.readouterr().out
+
+    def test_callback_api_unchanged(self, dataset):
+        trainer = _trainer(dataset)
+        calls = []
+        trainer.fit(epochs=2, callback=lambda e, l, m: calls.append((e, l, m)))
+        assert [c[0] for c in calls] == [0, 1]
+        assert all(isinstance(c[1], float) for c in calls)
+
+
+class TestTrainingGauges:
+    def test_gauges_updated_after_fit(self, dataset):
+        trainer = _trainer(dataset)
+        result = trainer.fit(epochs=1)
+        registry = get_registry()
+        assert registry.get("repro_train_epoch_loss").value == result.epoch_losses[-1]
+        assert registry.get("repro_train_valid_mrr").value == result.valid_mrrs[-1]
+        assert registry.get("repro_train_grad_norm").value > 0
+        assert registry.get("repro_train_param_update_ratio").value > 0
+
+
+class TestTrainingSpans:
+    def test_fit_emits_nested_spans(self, dataset):
+        tracer = enable_tracing(reset=True)
+        try:
+            _trainer(dataset).fit(epochs=1)
+        finally:
+            disable_tracing()
+        names = [s.name for s in tracer.spans()]
+        assert "train.fit" in names
+        assert "train.epoch" in names
+        assert "train.step" in names
+        assert "train.evaluate" in names
+        epoch = next(s for s in tracer.spans() if s.name == "train.epoch")
+        step = next(s for s in tracer.spans() if s.name == "train.step")
+        assert step.parent is epoch
