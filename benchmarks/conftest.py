@@ -54,3 +54,26 @@ def report(message: str) -> None:
     sys.__stdout__.flush()
     with open(_REPORT_PATH, "a") as handle:
         handle.write(message + "\n")
+
+
+def emit_bench(name: str, measurements, *, json_path=None, dataset=None,
+               model=None, seed=None, config=None):
+    """Emit one benchmark result through the shared schema'd writer.
+
+    Every benchmark script reports through this single choke point: the
+    measurements are wrapped in a versioned record (schema version,
+    timestamp, git SHA, dtype, seed), appended to the run ledger
+    (``runs/ledger.jsonl``; ``REPRO_RUN_LEDGER`` overrides), optionally
+    written as a standalone ``BENCH_*.json`` artifact, and echoed as a
+    capture-proof report line.  Returns the full record.
+    """
+    import json as _json
+
+    from repro.obs.runs import write_bench_report
+
+    record = write_bench_report(
+        name, measurements, path=json_path, dataset=dataset, model=model,
+        seed=seed, config=config,
+    )
+    report(f"{name}_json: " + _json.dumps(record))
+    return record

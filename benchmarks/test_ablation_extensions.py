@@ -18,7 +18,7 @@ from repro.data import generate_dataset
 from repro.experiments.runner import get_scale
 from repro.training import Trainer
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench, print_table
 
 DATASET = "icews14s_small"
 
@@ -71,6 +71,11 @@ def test_global_pruning_sweep(benchmark):
         rows,
         columns=("max_history", "mrr", "hits@10", "wall_time_s"),
     )
+    emit_bench(
+        "ablation_global_pruning",
+        {f"max_history_{row['max_history']}": {"mrr": row["mrr"], "hits@10": row["hits@10"]}
+         for row in rows},
+    )
     assert all(row["mrr"] > 0 for row in rows)
 
 
@@ -90,6 +95,11 @@ def test_time_encoding_ablation(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table("Extension: time-encoding ablation", rows,
                 columns=("time_encoding", "mrr", "hits@1"))
+    emit_bench(
+        "ablation_time_encoding",
+        {f"time_encoding_{row['time_encoding']}": {"mrr": row["mrr"], "hits@1": row["hits@1"]}
+         for row in rows},
+    )
     assert len(rows) == 2
 
 
@@ -108,4 +118,8 @@ def test_alpha_sweep(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table("Extension: joint-loss alpha sweep (paper fixes 0.7)",
                 rows, columns=("alpha", "mrr"))
+    emit_bench(
+        "ablation_alpha_sweep",
+        {f"alpha_{row['alpha']}": {"mrr": row["mrr"]} for row in rows},
+    )
     assert len(rows) == 3

@@ -21,7 +21,6 @@ Implementations are switched with ``repro.nn.segment.segment_impl`` —
 the ``reference`` flag *is* the pre-refactor scatter path.
 """
 
-import json
 import os
 import time
 
@@ -36,7 +35,7 @@ from repro.nn.segment import SegmentLayout, segment_impl, segment_softmax, segme
 from repro.nn.tensor import Tensor
 from repro.training import Evaluator, seed_everything
 
-from benchmarks.conftest import print_table, report
+from benchmarks.conftest import emit_bench, print_table
 
 DATASET = "icews14s_small"
 IMPLS = ("fused", "reference", "dense")
@@ -147,22 +146,26 @@ def test_encoder_fwd_bwd_throughput(benchmark):
         columns=("impl", "walk_steps_s", "kernel_blk_s", "kernel_speedup"),
     )
 
-    payload = {
-        "dataset": DATASET,
-        "scale": scale.name,
-        "dim": scale.dim,
-        "walk_timeline_steps": num_steps,
+    measurements = {
         "walk_steps_per_second": {k: round(v, 3) for k, v in walk.items()},
-        "kernel_edges": num_edges,
-        "kernel_entities": num_entities,
         "kernel_blocks_per_second": {k: round(v, 3) for k, v in kernel.items()},
         "fused_speedup_vs_dense": round(kernel_speedup_dense, 3),
         "fused_speedup_vs_reference": round(kernel_speedup_reference, 3),
     }
-    with open(BENCH_JSON, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    report("encoder_throughput_json: " + json.dumps(payload))
+    emit_bench(
+        "encoder_throughput",
+        measurements,
+        json_path=BENCH_JSON,
+        dataset=DATASET,
+        seed=7,
+        config={
+            "scale": scale.name,
+            "dim": scale.dim,
+            "walk_timeline_steps": num_steps,
+            "kernel_edges": num_edges,
+            "kernel_entities": num_entities,
+        },
+    )
 
     # acceptance bar: >= 2x over the dense-reference ops in the same run
     assert kernel_speedup_dense >= 2.0, (

@@ -9,7 +9,7 @@ from repro.experiments.figure5 import (
 
 from repro.experiments.ascii_plot import series_figure
 
-from benchmarks.conftest import print_table, report
+from benchmarks.conftest import emit_bench, print_table, report
 
 
 def test_figure5a_granularity(benchmark):
@@ -20,6 +20,11 @@ def test_figure5a_granularity(benchmark):
         columns=("granularity", "mrr", "hits@1", "hits@3", "hits@10"),
     )
     report(series_figure("fig5a MRR vs granularity", rows, "granularity"))
+    emit_bench(
+        "figure5a_granularity",
+        {f"granularity_{row['granularity']}": {"mrr": row["mrr"], "hits@10": row["hits@10"]}
+         for row in rows},
+    )
     assert len(rows) == len(GRANULARITY_LEVELS)
     # paper claim: robust across levels — max-min spread is bounded
     mrrs = [row["mrr"] for row in rows]
@@ -34,5 +39,10 @@ def test_figure5b_layers(benchmark):
         columns=("num_layers", "mrr", "hits@1", "hits@3", "hits@10"),
     )
     report(series_figure("fig5b MRR vs GNN layers", rows, "num_layers"))
+    emit_bench(
+        "figure5b_layers",
+        {f"layers_{row['num_layers']}": {"mrr": row["mrr"], "hits@10": row["hits@10"]}
+         for row in rows},
+    )
     assert len(rows) == len(LAYER_COUNTS)
     assert all(row["mrr"] > 0 for row in rows)

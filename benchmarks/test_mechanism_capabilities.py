@@ -14,7 +14,7 @@ from repro.data import generate_dataset, get_profile
 from repro.experiments.runner import get_scale
 from repro.training import Trainer
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench, print_table
 
 DATASET = "icews14s_small"
 
@@ -66,6 +66,11 @@ def test_mechanism_capability_profiles(benchmark):
         "Extension: per-mechanism capability profile (icews14s_small)",
         rows,
         columns=("model", "mechanism", "mrr", "hits@1", "n"),
+    )
+    emit_bench(
+        "mechanism_capabilities",
+        {f"{row['model']}.{row['mechanism']}": {"mrr": row["mrr"], "hits@1": row["hits@1"]}
+         for row in rows},
     )
     assert rows
     total_queries = {r["model"]: 0 for r in rows}

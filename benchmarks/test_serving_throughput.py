@@ -12,7 +12,7 @@ Emits both the standard aligned table and a JSON report line so the
 numbers are machine-readable from ``benchmarks_report.txt``.
 """
 
-import json
+import os
 import time
 
 import numpy as np
@@ -24,9 +24,12 @@ from repro.nn.serialization import save_checkpoint
 from repro.serving import InferenceEngine
 from repro.serving.stats import percentile
 
-from benchmarks.conftest import print_table, report
+from benchmarks.conftest import emit_bench, print_table
 
 DATASET = "unit_tiny"
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_serving.json"
+)
 
 
 def _engine(tmp_path, key="hisres", dim=None):
@@ -52,7 +55,7 @@ def _engine(tmp_path, key="hisres", dim=None):
 def test_serving_latency_throughput_cache(benchmark, tmp_path):
     def run():
         rows = []
-        payload = {"dataset": DATASET, "models": {}}
+        payload = {"models": {}}
         for key in ("distmult", "hisres"):
             engine, dataset = _engine(tmp_path, key=key)
             num_queries = 32
@@ -112,7 +115,9 @@ def test_serving_latency_throughput_cache(benchmark, tmp_path):
         columns=("model", "single_p50_ms", "single_qps", "batched_qps",
                  "speedup", "cached_qps", "cache_hit_rate"),
     )
-    report("serving_throughput_json: " + json.dumps(payload))
+    emit_bench(
+        "serving_throughput", payload["models"], json_path=BENCH_JSON, dataset=DATASET
+    )
 
     for row in rows:
         # micro-batching must never be slower than one-at-a-time serving,

@@ -6,11 +6,21 @@ from repro.experiments.table2 import (
     table2_dataset_statistics,
 )
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench, print_table
 
 
 def test_table2_dataset_statistics(benchmark):
     rows = benchmark.pedantic(table2_dataset_statistics, rounds=1, iterations=1)
+    emit_bench(
+        "table2_dataset_stats",
+        {
+            row["dataset"]: {
+                k: v for k, v in row.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+            for row in rows
+        },
+    )
     print_table(
         "Table 2: dataset statistics (synthetic profiles)",
         rows,

@@ -15,7 +15,7 @@ from repro.experiments.table3 import (
     table3_main_results,
 )
 
-from benchmarks.conftest import print_table, report
+from benchmarks.conftest import emit_bench, print_table, report
 
 COLUMNS = ("model", "mrr", "hits@1", "hits@3", "hits@10", "paper_mrr", "wall_time_s")
 
@@ -29,6 +29,14 @@ def test_table3_dataset(benchmark, dataset_name):
         iterations=1,
     )
     print_table(f"Table 3 ({dataset_name})", rows, COLUMNS)
+    emit_bench(
+        "table3_main_results",
+        {
+            row["model"]: {k: row[k] for k in ("mrr", "hits@1", "hits@3", "hits@10")}
+            for row in rows
+        },
+        dataset=dataset_name,
+    )
     assert len(rows) == len(TABLE3_MODELS)
     problems = check_table3_shape(rows)
     # shape deviations are reported, not failed: EXPERIMENTS.md records them

@@ -10,7 +10,7 @@ from repro.experiments.table4 import (
     table4_ablations,
 )
 
-from benchmarks.conftest import print_table, report
+from benchmarks.conftest import emit_bench, print_table, report
 
 
 @pytest.mark.parametrize("dataset_name", TABLE4_DATASETS)
@@ -27,6 +27,14 @@ def test_table4_ablations(benchmark, dataset_name):
         f"Table 4 ablations ({dataset_name})",
         rows,
         columns=("model", "mrr", "hits@1", "hits@3", "hits@10", "paper_mrr"),
+    )
+    emit_bench(
+        "table4_ablations",
+        {
+            row["model"]: {k: row[k] for k in ("mrr", "hits@1", "hits@3", "hits@10")}
+            for row in rows
+        },
+        dataset=dataset_name,
     )
     assert len(rows) == len(ABLATION_VARIANTS)
     problems = check_table4_shape(rows)

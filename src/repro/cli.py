@@ -12,12 +12,21 @@ Commands:
 - ``predict``   — top-k query against a running server (or offline);
 - ``profile``   — run a few train/eval steps under the op-level
   profiler; prints the per-op table and writes a Chrome trace;
+- ``report``    — render the run ledger as trajectory tables with
+  sparklines (``--markdown``/``--html`` write static reports;
+  ``--benchmarks`` summarises a legacy benchmarks_report.txt);
+- ``regress``   — compare the newest ledger run against its rolling
+  baseline; exits 1 on regression;
 - ``table2|table3|table4|figure5`` — regenerate a paper artifact;
 - ``mechanisms``— per-mechanism capability profile of a model.
 
 Global flags: ``--log-level`` wires the ``repro`` loggers to stderr;
 ``train``/``serve``/``profile`` accept ``--trace PATH`` to record spans
 as Chrome ``trace_event`` JSON (load in chrome://tracing or Perfetto).
+
+``train`` and ``eval`` append one schema'd record per run to the run
+ledger (``runs/ledger.jsonl``; ``--ledger PATH`` overrides,
+``--no-ledger`` disables) — see ``docs/run_ledger.md``.
 """
 
 from __future__ import annotations
@@ -61,8 +70,18 @@ def _finish_trace(path: Optional[str]) -> None:
         print(f"wrote span trace to {path}", file=sys.stderr)
 
 
+def _open_ledger(args):
+    """Resolve ``--ledger``/``--no-ledger`` to a RunLedger (or None)."""
+    if getattr(args, "no_ledger", False):
+        return None
+    from repro.obs.runs import RunLedger, default_ledger_path
+
+    return RunLedger(getattr(args, "ledger", None) or default_ledger_path())
+
+
 def cmd_train(args) -> int:
     from repro.experiments.runner import RunConfig, run_model_on_dataset
+    from repro.obs.health import TrainingAborted
 
     if args.trace:
         from repro.obs import enable_tracing
@@ -78,7 +97,19 @@ def cmd_train(args) -> int:
         seed=args.seed,
     )
     try:
-        row = run_model_on_dataset(args.model, dataset, config, save_path=args.save)
+        row = run_model_on_dataset(
+            args.model,
+            dataset,
+            config,
+            save_path=args.save,
+            ledger=_open_ledger(args),
+            extra_record={"trace_path": args.trace},
+        )
+    except TrainingAborted as exc:
+        print(f"ABORTED: {exc}", file=sys.stderr)
+        if exc.bundle:
+            print(f"diagnostic bundle: {exc.bundle}", file=sys.stderr)
+        return 3
     finally:
         _finish_trace(args.trace)
     print(json.dumps(row, indent=2, default=float))
@@ -120,7 +151,7 @@ def cmd_eval(args) -> int:
     else:
         warmup, split = (dataset.train,), dataset.valid
     result = evaluator.evaluate_walk(model, builder, split, warmup_splits=warmup)
-    print(json.dumps({
+    payload = {
         "model": meta.get("model_name", meta["model"]),
         "checkpoint": args.load_checkpoint,
         "dataset": dataset.name,
@@ -129,7 +160,19 @@ def cmd_eval(args) -> int:
         "hits@1": result.hits(1) * 100,
         "hits@3": result.hits(3) * 100,
         "hits@10": result.hits(10) * 100,
-    }, indent=2, default=float))
+    }
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        record = ledger.append(
+            kind="eval",
+            model=str(meta["model"]),
+            dataset=dataset.name,
+            config={"split": args.split, "history_length": int(window.get("history_length", args.history_length))},
+            metrics={k: payload[k] for k in ("mrr", "hits@1", "hits@3", "hits@10")},
+            extra={"checkpoint": args.load_checkpoint},
+        )
+        payload["run_id"] = record["run_id"]
+    print(json.dumps(payload, indent=2, default=float))
     return 0
 
 
@@ -303,6 +346,28 @@ def cmd_degradation(args) -> int:
 
 
 def cmd_report(args) -> int:
+    """Render the run ledger (default) or a legacy benchmarks log."""
+    if args.benchmarks is None:
+        from repro.obs.report import render_html, render_markdown, render_terminal
+        from repro.obs.runs import RunLedger, default_ledger_path
+
+        ledger = RunLedger(args.ledger or default_ledger_path())
+        filters = dict(kind=args.kind, model=args.model, dataset=args.dataset, last=args.last)
+        print(render_terminal(ledger, **filters))
+        if args.markdown:
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(render_markdown(ledger, **filters))
+            print(f"wrote markdown report to {args.markdown}", file=sys.stderr)
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(render_html(ledger, **filters))
+            print(f"wrote html report to {args.html}", file=sys.stderr)
+        return 0
+    return _cmd_report_benchmarks(args.benchmarks)
+
+
+def _cmd_report_benchmarks(path: str) -> int:
+    """Legacy: summarise a benchmarks_report.txt as markdown tables."""
     from repro.experiments.report import (
         markdown_table,
         parse_report,
@@ -310,7 +375,7 @@ def cmd_report(args) -> int:
         summarize_table4,
     )
 
-    tables = parse_report(args.path)
+    tables = parse_report(path)
     t3 = summarize_table3(tables)
     if t3:
         print("## Table 3 (measured MRR x100)\n")
@@ -330,6 +395,19 @@ def cmd_report(args) -> int:
         ]
         print(markdown_table(rows, ["variant"] + list(t4)))
     return 0
+
+
+def cmd_regress(args) -> int:
+    """Ledger regression check; exits 1 when a metric regressed."""
+    from repro.obs.regress import main as regress_main
+
+    argv = []
+    for flag in ("ledger", "kind", "model", "dataset", "metrics"):
+        value = getattr(args, flag)
+        if value:
+            argv.extend([f"--{flag}", str(value)])
+    argv.extend(["--window", str(args.window)])
+    return regress_main(argv)
 
 
 def cmd_profile(args) -> int:
@@ -368,7 +446,8 @@ def cmd_profile(args) -> int:
         for t, quads in items:
             if train_left <= 0 and eval_left <= 0:
                 break
-            queries = trainer.evaluator.queries_with_inverse(quads)
+            with prof.block("queries"):
+                queries = trainer.evaluator.queries_with_inverse(quads)
             if builder.history_filled and train_left > 0:
                 model.train()
                 with span("profile.train_step", t=int(t)), prof.block("train.step"):
@@ -431,6 +510,14 @@ def cmd_mechanisms(args) -> int:
     return 0
 
 
+def _add_ledger_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="run-ledger JSONL (default: runs/ledger.jsonl, "
+                        "or $REPRO_RUN_LEDGER)")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append this run to the ledger")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
@@ -462,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint the trained model (weights + serving metadata)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record training spans as Chrome trace_event JSON")
+    _add_ledger_flags(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("eval", help="evaluate a saved checkpoint (no training)")
@@ -471,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split", choices=["valid", "test"], default="test")
     p.add_argument("--history-length", type=int, default=2,
                    help="fallback window length for metadata-less checkpoints")
+    _add_ledger_flags(p)
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("serve", help="run the online inference HTTP server")
@@ -567,9 +656,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3)
     p.set_defaults(func=cmd_forecast)
 
-    p = sub.add_parser("report", help="summarise a benchmarks_report.txt as markdown")
-    p.add_argument("path", nargs="?", default="benchmarks_report.txt")
+    p = sub.add_parser(
+        "report",
+        help="render the run ledger as trajectory tables with sparklines",
+    )
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="run-ledger JSONL (default: runs/ledger.jsonl)")
+    p.add_argument("--kind", default=None, help="filter: train/eval/bench/seed/multiseed")
+    p.add_argument("--model", default=None)
+    p.add_argument("--dataset", default=None)
+    p.add_argument("--last", type=int, default=20, help="rows per group table")
+    p.add_argument("--markdown", default=None, metavar="PATH",
+                   help="also write a Markdown report")
+    p.add_argument("--html", default=None, metavar="PATH",
+                   help="also write a static HTML report")
+    p.add_argument("--benchmarks", nargs="?", const="benchmarks_report.txt",
+                   default=None, metavar="PATH",
+                   help="legacy mode: summarise a benchmarks_report.txt instead")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "regress",
+        help="compare the newest ledger run against its rolling baseline (exit 1 on regression)",
+    )
+    p.add_argument("--ledger", default=None, metavar="PATH")
+    p.add_argument("--kind", default=None)
+    p.add_argument("--model", default=None)
+    p.add_argument("--dataset", default=None)
+    p.add_argument("--window", type=int, default=8,
+                   help="baseline runs for the rolling median")
+    p.add_argument("--metrics", default=None,
+                   help="comma-separated metric names to judge")
+    p.set_defaults(func=cmd_regress)
 
     p = sub.add_parser("degradation", help="single-step vs frozen-history MRR")
     p.add_argument("model", choices=sorted(MODEL_REGISTRY))

@@ -85,6 +85,9 @@ def run_model_on_dataset(
     dataset: TKGDataset,
     config: Optional[RunConfig] = None,
     save_path: Optional[str] = None,
+    ledger=None,
+    health=None,
+    extra_record: Optional[Dict] = None,
     **model_kwargs,
 ) -> Dict[str, object]:
     """Train + evaluate one registry model; return a metrics row.
@@ -95,6 +98,13 @@ def run_model_on_dataset(
     is checkpointed there with everything the serving layer needs to
     rebuild it (registry key, vocabulary sizes, window configuration,
     metrics) — see :meth:`repro.serving.InferenceEngine.from_checkpoint`.
+
+    When ``ledger`` (a :class:`repro.obs.runs.RunLedger`) is given, one
+    ``kind="train"`` record — config fingerprint, seed, final metrics
+    and gauges, plus any ``extra_record`` fields (trace path,
+    checkpoint path) — is appended, and the row carries its ``run_id``.
+    ``health`` is forwarded to the :class:`~repro.training.Trainer`
+    (``False`` disables the watchdogs).
     """
     config = config or RunConfig()
     spec = MODEL_REGISTRY[key]
@@ -114,6 +124,7 @@ def run_model_on_dataset(
         track_vocabulary=spec.requirements.vocabulary,
         learning_rate=config.learning_rate,
         seed=config.seed,
+        health=health,
     )
     fit = trainer.fit(
         epochs=config.epochs,
@@ -159,6 +170,37 @@ def run_model_on_dataset(
         }
         save_checkpoint(model, save_path, metadata=metadata)
         row["checkpoint"] = save_path
+    if ledger is not None:
+        gauges = trainer.final_gauges()
+        record = ledger.append(
+            kind="train",
+            run_id=trainer.run_id,
+            model=key,
+            dataset=dataset.name,
+            seed=config.seed,
+            config={
+                "dim": config.dim,
+                "history_length": history_length,
+                "granularity": config.granularity,
+                "learning_rate": config.learning_rate,
+                "epochs": config.epochs,
+                "patience": config.patience,
+                "use_global": use_global,
+            },
+            metrics={
+                "mrr": row["mrr"],
+                "hits@1": row["hits@1"],
+                "hits@3": row["hits@3"],
+                "hits@10": row["hits@10"],
+                "valid_mrr": row["valid_mrr"],
+                "best_epoch": row["best_epoch"],
+                "wall_time_s": row["wall_time_s"],
+                "loss": gauges["loss"],
+                "grad_norm": gauges["grad_norm"],
+            },
+            extra=dict(extra_record or {}, checkpoint=save_path),
+        )
+        row["run_id"] = record["run_id"]
     return row
 
 

@@ -18,8 +18,23 @@ One package gives training and serving the same three instruments:
 
 Everything is zero-cost when disabled: the tracer fast path is one flag
 check, and the profiler leaves no wrapper installed.
+
+On top of the in-process plane sits the **cross-run** layer:
+
+- :mod:`repro.obs.runs` — the append-only run ledger (one schema'd
+  JSONL record per train/eval/bench run: run id, timestamp, git SHA,
+  config fingerprint, dtype, seed, metrics) plus the shared writer
+  behind every ``BENCH_*.json``;
+- :mod:`repro.obs.regress` — noise-aware regression detection against
+  a rolling ledger baseline (median of last N, MAD-scaled tolerance);
+- :mod:`repro.obs.health` — training watchdogs (NaN/Inf gradients,
+  loss divergence, plateau) firing structured events, registry
+  counters, and diagnostic bundles;
+- :mod:`repro.obs.report` — ``repro report``: ledger trajectories as
+  terminal sparklines, Markdown, or static HTML.
 """
 
+from repro.obs.health import HealthMonitor, TrainingAborted, WatchdogPolicy
 from repro.obs.logging import LOG_FORMAT, configure_logging, log_event
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -32,6 +47,18 @@ from repro.obs.metrics import (
     get_registry,
 )
 from repro.obs.profiler import OpProfiler, active_profiler
+from repro.obs.runs import (
+    RunLedger,
+    SCHEMA_VERSION,
+    build_record,
+    config_fingerprint,
+    default_ledger,
+    default_ledger_path,
+    flatten_metrics,
+    git_sha,
+    new_run_id,
+    write_bench_report,
+)
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -46,21 +73,34 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "LOG_FORMAT",
     "MetricFamily",
     "MetricsRegistry",
     "OpProfiler",
     "REGISTRY",
+    "RunLedger",
+    "SCHEMA_VERSION",
     "SpanRecord",
     "Tracer",
+    "TrainingAborted",
+    "WatchdogPolicy",
     "active_profiler",
+    "build_record",
+    "config_fingerprint",
     "configure_logging",
+    "default_ledger",
+    "default_ledger_path",
     "disable_tracing",
     "enable_tracing",
+    "flatten_metrics",
     "get_registry",
     "get_tracer",
+    "git_sha",
     "log_event",
+    "new_run_id",
     "span",
     "tracing_enabled",
+    "write_bench_report",
 ]

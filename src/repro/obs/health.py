@@ -1,0 +1,234 @@
+"""Training health watchdogs: NaN/Inf, divergence, plateau detection.
+
+A :class:`HealthMonitor` rides along with the training loop and checks
+every step and epoch for the classic silent failure modes of
+evolutionary TKG training (RE-GCN-style models are notoriously
+sensitive to history length and learning rate):
+
+- **NaN/Inf gradients or loss** — one poisoned step corrupts every
+  parameter; by default the monitor aborts the run immediately;
+- **loss divergence** — the epoch loss blowing up past a multiple of
+  the best loss seen so far;
+- **plateau/stall** — validation MRR failing to improve over a
+  configurable number of evaluations (distinct from early stopping:
+  the watchdog *observes and reports*, the trainer decides).
+
+Every detection fires a structured log event (``health.<type>``),
+bumps the shared ``repro_health_events_total{type=...}`` registry
+counter (visible on ``GET /metrics``), and — when a bundle directory
+is configured — dumps a **diagnostic bundle** to a run-scoped folder:
+the run context/config, the registry gauge snapshot, the active
+profiler table and span-trace tree when enabled, and the event log.
+Then the monitor either raises :class:`TrainingAborted` or continues,
+per policy.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.logging import log_event
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "HealthMonitor",
+    "TrainingAborted",
+    "WatchdogPolicy",
+    "health_counter",
+]
+
+logger = logging.getLogger(__name__)
+
+#: policy actions
+ABORT = "abort"
+WARN = "warn"
+OFF = "off"
+
+
+def health_counter(registry: Optional[MetricsRegistry] = None):
+    """The shared health-event counter family (idempotent)."""
+    return (registry or get_registry()).counter(
+        "repro_health_events_total",
+        "Training health watchdog events by type.",
+        labelnames=("type",),
+    )
+
+
+class TrainingAborted(RuntimeError):
+    """Raised when a watchdog with an ``abort`` policy fires."""
+
+    def __init__(self, message: str, event: Optional[Dict] = None, bundle: Optional[str] = None):
+        super().__init__(message)
+        self.event = event or {}
+        self.bundle = bundle
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """What each watchdog does when it fires (see ``docs/run_ledger.md``)."""
+
+    nan_policy: str = ABORT
+    divergence_policy: str = WARN
+    #: epoch loss > factor * best epoch loss counts as divergence
+    divergence_factor: float = 10.0
+    #: epochs of loss history required before divergence can fire
+    divergence_min_epochs: int = 1
+    plateau_policy: str = WARN
+    #: evaluations without a validation-MRR improvement before a
+    #: plateau event fires; 0 disables the plateau watchdog
+    plateau_patience: int = 0
+
+
+class HealthMonitor:
+    """Per-run watchdog state; hook into the loop via ``observe_*``.
+
+    ``bundle_dir=None`` disables diagnostic bundles (events and
+    counters still fire) — pass a run-scoped directory to get one
+    bundle per event type per run.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[WatchdogPolicy] = None,
+        bundle_dir: Optional[str] = None,
+        context: Optional[Dict] = None,
+        run_id: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.policy = policy or WatchdogPolicy()
+        self.bundle_dir = bundle_dir
+        self.context = dict(context or {})
+        self.run_id = run_id
+        self.events: List[Dict] = []
+        self._counter = health_counter(registry)
+        self._registry = registry or get_registry()
+        self._best_loss: Optional[float] = None
+        self._best_mrr: Optional[float] = None
+        self._stale_evals = 0
+        self._bundled_types: set = set()
+
+    # ------------------------------------------------------------------
+    def observe_step(self, loss: float, grad_norm: Optional[float] = None,
+                     step: Optional[int] = None, epoch: Optional[int] = None) -> None:
+        """Per-step numeric hygiene: NaN/Inf loss and gradients."""
+        if self.policy.nan_policy == OFF:
+            return
+        if grad_norm is not None and not math.isfinite(float(grad_norm)):
+            self._fire(
+                "nan_gradient", self.policy.nan_policy, logging.ERROR,
+                grad_norm=float(grad_norm), loss=float(loss), step=step, epoch=epoch,
+            )
+        if not math.isfinite(float(loss)):
+            self._fire(
+                "nan_loss", self.policy.nan_policy, logging.ERROR,
+                loss=float(loss), step=step, epoch=epoch,
+            )
+
+    def observe_epoch(self, epoch: int, loss: float,
+                      valid_mrr: Optional[float] = None) -> None:
+        """Per-epoch trend hygiene: divergence and plateau/stall."""
+        loss = float(loss)
+        if math.isfinite(loss):
+            if (
+                self.policy.divergence_policy != OFF
+                and self._best_loss is not None
+                and epoch >= self.policy.divergence_min_epochs
+                and loss > self.policy.divergence_factor * max(self._best_loss, 1e-12)
+            ):
+                self._fire(
+                    "loss_divergence", self.policy.divergence_policy, logging.WARNING,
+                    loss=loss, best_loss=self._best_loss, epoch=epoch,
+                    factor=self.policy.divergence_factor,
+                )
+            if self._best_loss is None or loss < self._best_loss:
+                self._best_loss = loss
+        if valid_mrr is not None and self.policy.plateau_patience > 0 \
+                and self.policy.plateau_policy != OFF:
+            if self._best_mrr is None or valid_mrr > self._best_mrr:
+                self._best_mrr = float(valid_mrr)
+                self._stale_evals = 0
+            else:
+                self._stale_evals += 1
+                if self._stale_evals >= self.policy.plateau_patience:
+                    self._fire(
+                        "plateau", self.policy.plateau_policy, logging.WARNING,
+                        valid_mrr=float(valid_mrr), best_mrr=self._best_mrr,
+                        stale_evals=self._stale_evals, epoch=epoch,
+                    )
+                    self._stale_evals = 0  # re-arm instead of firing every eval
+
+    # ------------------------------------------------------------------
+    def _fire(self, event_type: str, action: str, level: int, **fields) -> None:
+        present = {k: v for k, v in fields.items() if v is not None}
+        event = {
+            "type": event_type,
+            "action": action,
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+            **present,
+        }
+        self.events.append(event)
+        self._counter.labels(type=event_type).inc()
+        log_event(logger, f"health.{event_type}", _level=level, action=action, **present)
+        bundle = self.dump_bundle(event_type)
+        if action == ABORT:
+            raise TrainingAborted(
+                f"training aborted by health watchdog: {event_type} "
+                f"({', '.join(f'{k}={v}' for k, v in present.items())})",
+                event=event,
+                bundle=bundle,
+            )
+
+    # ------------------------------------------------------------------
+    def dump_bundle(self, reason: str) -> Optional[str]:
+        """Write the diagnostic bundle; returns its directory (or None).
+
+        One bundle per event type per run — repeated plateau events do
+        not churn the disk.  Never raises: a broken disk must not mask
+        the original training failure.
+        """
+        if self.bundle_dir is None or reason in self._bundled_types:
+            return None
+        self._bundled_types.add(reason)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        directory = os.path.join(self.bundle_dir, f"diag-{reason}-{stamp}")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            manifest = {
+                "reason": reason,
+                "run_id": self.run_id,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+                "context": self.context,
+                "events": self.events,
+            }
+            with open(os.path.join(directory, "bundle.json"), "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=2, default=str)
+            with open(os.path.join(directory, "metrics.json"), "w", encoding="utf-8") as fh:
+                json.dump(self._registry.snapshot(), fh, indent=2, default=str)
+            self._dump_profiler(directory)
+            self._dump_trace(directory)
+        except Exception:
+            logger.exception("failed to write diagnostic bundle to %s", directory)
+            return None
+        log_event(logger, "health.bundle", reason=reason, path=directory)
+        return directory
+
+    def _dump_profiler(self, directory: str) -> None:
+        from repro.obs.profiler import active_profiler
+
+        prof = active_profiler()
+        if prof is not None:
+            with open(os.path.join(directory, "profiler.txt"), "w", encoding="utf-8") as fh:
+                fh.write(prof.format_table())
+
+    def _dump_trace(self, directory: str) -> None:
+        from repro.obs.trace import get_tracer, tracing_enabled
+
+        if tracing_enabled():
+            with open(os.path.join(directory, "trace.txt"), "w", encoding="utf-8") as fh:
+                fh.write(get_tracer().format_tree())

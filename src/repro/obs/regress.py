@@ -1,0 +1,256 @@
+"""Noise-aware regression detection over the run ledger.
+
+Compares the newest run of a (kind, model, dataset) group against a
+rolling baseline built from the previous runs in the ledger:
+
+- the baseline statistic is the **median** of the last ``window`` runs
+  (robust to one bad run poisoning the baseline);
+- the tolerance is the max of an absolute floor, a relative band, and a
+  **MAD-scaled** band (``mad_k * 1.4826 * MAD``) — so a metric that is
+  noisy across seeds/machines gets a proportionally wider band and a
+  rock-stable metric gets a tight one;
+- quality metrics (MRR, Hits@k — higher is better, tight relative
+  band) and throughput metrics (steps/s, QPS — higher is better, loose
+  band: machine noise) regress in opposite circumstances from
+  lower-is-better metrics (loss, latency, wall time), inferred from
+  the metric name and overridable per call.
+
+``python -m repro.obs.regress`` (or ``repro regress``) prints the
+verdict table and exits nonzero when any metric regressed — wired into
+CI as a non-gating step, and usable locally as a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.runs import RunLedger, default_ledger_path, flatten_metrics
+
+__all__ = [
+    "MetricPolicy",
+    "MetricVerdict",
+    "RegressionReport",
+    "compare_to_baseline",
+    "check_latest",
+    "policy_for",
+    "main",
+]
+
+_MAD_TO_SIGMA = 1.4826  # consistent estimator of sigma under normality
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """Direction + tolerance knobs for one metric."""
+
+    higher_is_better: bool = True
+    rel_tol: float = 0.15
+    abs_tol: float = 1e-9
+    mad_k: float = 3.0
+
+
+#: Name-fragment heuristics, checked in order (first match wins).
+_QUALITY_HINTS = ("mrr", "hits", "accuracy", "auc", "precision", "recall")
+_LOWER_BETTER_HINTS = (
+    "loss", "latency", "_ms", "wall_time", "seconds", "p50", "p95", "p99",
+)
+_THROUGHPUT_HINTS = (
+    "per_second", "qps", "steps_s", "blk_s", "throughput", "speedup", "hit_rate",
+)
+
+QUALITY_POLICY = MetricPolicy(higher_is_better=True, rel_tol=0.05, abs_tol=0.25)
+THROUGHPUT_POLICY = MetricPolicy(higher_is_better=True, rel_tol=0.30, abs_tol=1e-6)
+LOWER_BETTER_POLICY = MetricPolicy(higher_is_better=False, rel_tol=0.30, abs_tol=1e-6)
+DEFAULT_POLICY = MetricPolicy()
+
+
+def policy_for(name: str, overrides: Optional[Dict[str, MetricPolicy]] = None) -> MetricPolicy:
+    """Resolve the policy for a metric name (explicit override first)."""
+    if overrides and name in overrides:
+        return overrides[name]
+    lowered = name.lower()
+    if any(hint in lowered for hint in _QUALITY_HINTS):
+        return QUALITY_POLICY
+    if any(hint in lowered for hint in _LOWER_BETTER_HINTS):
+        return LOWER_BETTER_POLICY
+    if any(hint in lowered for hint in _THROUGHPUT_HINTS):
+        return THROUGHPUT_POLICY
+    return DEFAULT_POLICY
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class MetricVerdict:
+    """Outcome of comparing one metric against its baseline."""
+
+    metric: str
+    status: str  # "ok" | "regressed" | "improved" | "no_baseline"
+    current: float
+    baseline_median: Optional[float] = None
+    baseline_n: int = 0
+    tolerance: Optional[float] = None
+    delta: Optional[float] = None
+    higher_is_better: bool = True
+
+
+@dataclass
+class RegressionReport:
+    """Per-metric verdicts for one run-vs-baseline comparison."""
+
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+    note: Optional[str] = None
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_table(self) -> str:
+        if not self.verdicts:
+            return self.note or "(no comparable metrics)"
+        header = (
+            f"{'metric':<36} {'status':<12} {'current':>12} "
+            f"{'baseline':>12} {'delta':>10} {'tol':>10} {'n':>3}"
+        )
+        lines = [header, "-" * len(header)]
+        for v in sorted(self.verdicts, key=lambda v: (v.status != "regressed", v.metric)):
+            baseline = f"{v.baseline_median:.4g}" if v.baseline_median is not None else "-"
+            delta = f"{v.delta:+.4g}" if v.delta is not None else "-"
+            tol = f"{v.tolerance:.4g}" if v.tolerance is not None else "-"
+            lines.append(
+                f"{v.metric:<36} {v.status:<12} {v.current:>12.4g} "
+                f"{baseline:>12} {delta:>10} {tol:>10} {v.baseline_n:>3}"
+            )
+        if self.note:
+            lines.append(self.note)
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    current: Dict[str, float],
+    history: Sequence[Dict[str, float]],
+    policies: Optional[Dict[str, MetricPolicy]] = None,
+    metrics: Optional[Sequence[str]] = None,
+) -> RegressionReport:
+    """Compare flat metric dicts: the current run vs prior runs.
+
+    ``history`` is a sequence of flat metric dicts (oldest first); only
+    metrics present in ``current`` are judged.  Metrics with no prior
+    observation get a ``no_baseline`` verdict (never a failure).
+    """
+    report = RegressionReport()
+    names = list(metrics) if metrics else sorted(current)
+    for name in names:
+        if name not in current:
+            continue
+        value = float(current[name])
+        baseline = [float(run[name]) for run in history if name in run]
+        policy = policy_for(name, policies)
+        if not baseline:
+            report.verdicts.append(
+                MetricVerdict(name, "no_baseline", value, higher_is_better=policy.higher_is_better)
+            )
+            continue
+        median = _median(baseline)
+        mad = _median([abs(v - median) for v in baseline])
+        tolerance = max(
+            policy.abs_tol,
+            policy.rel_tol * abs(median),
+            policy.mad_k * _MAD_TO_SIGMA * mad,
+        )
+        delta = value - median
+        if policy.higher_is_better:
+            regressed = delta < -tolerance
+            improved = delta > tolerance
+        else:
+            regressed = delta > tolerance
+            improved = delta < -tolerance
+        status = "regressed" if regressed else ("improved" if improved else "ok")
+        report.verdicts.append(
+            MetricVerdict(
+                name,
+                status,
+                value,
+                baseline_median=median,
+                baseline_n=len(baseline),
+                tolerance=tolerance,
+                delta=delta,
+                higher_is_better=policy.higher_is_better,
+            )
+        )
+    return report
+
+
+def check_latest(
+    ledger: RunLedger,
+    kind: Optional[str] = None,
+    model: Optional[str] = None,
+    dataset: Optional[str] = None,
+    window: int = 8,
+    metrics: Optional[Sequence[str]] = None,
+    policies: Optional[Dict[str, MetricPolicy]] = None,
+) -> RegressionReport:
+    """Judge the newest matching ledger run against its predecessors."""
+    records = ledger.records(kind=kind, model=model, dataset=dataset)
+    if not records:
+        return RegressionReport(note=f"no matching runs in {ledger.path}")
+    current_record = records[-1]
+    baseline_records = records[:-1][-max(window, 0):]
+    current = flatten_metrics(current_record)
+    history = [flatten_metrics(r) for r in baseline_records]
+    report = compare_to_baseline(current, history, policies=policies, metrics=metrics)
+    report.note = (
+        f"run {current_record.get('run_id')} vs median of last "
+        f"{len(baseline_records)} run(s) [{ledger.path}]"
+    )
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.regress",
+        description="compare the newest ledger run against its rolling baseline",
+    )
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="run-ledger JSONL (default: runs/ledger.jsonl)")
+    parser.add_argument("--kind", default=None, help="filter: train/eval/bench/...")
+    parser.add_argument("--model", default=None)
+    parser.add_argument("--dataset", default=None)
+    parser.add_argument("--window", type=int, default=8,
+                        help="baseline runs to take the median over")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated metric names (default: all in the newest run)")
+    args = parser.parse_args(argv)
+    ledger = RunLedger(args.ledger or default_ledger_path())
+    metric_names = [m.strip() for m in args.metrics.split(",") if m.strip()] if args.metrics else None
+    report = check_latest(
+        ledger,
+        kind=args.kind,
+        model=args.model,
+        dataset=args.dataset,
+        window=args.window,
+        metrics=metric_names,
+    )
+    print(report.format_table())
+    if not report.ok:
+        names = ", ".join(v.metric for v in report.regressions)
+        print(f"REGRESSION: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Render the run ledger as trajectory tables (``repro report``).
+
+Groups ledger records by (kind, model, dataset), picks the most
+informative metric columns per group, and renders:
+
+- a **terminal** view: per-metric unicode sparklines over the run
+  sequence plus an aligned table of the most recent runs;
+- a **Markdown** report (same content, pipe tables) for committing or
+  attaching to a PR;
+- a minimal static **HTML** report (self-contained, no scripts) for CI
+  artifact upload.
+
+The sparkline shows the *trajectory* — the thing a single
+``BENCH_*.json`` could never show — so a slow drift across ten commits
+reads as a falling staircase instead of ten individually-plausible
+numbers.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.ascii_plot import sparkline
+from repro.obs.runs import RunLedger, flatten_metrics
+
+__all__ = [
+    "group_records",
+    "metric_series",
+    "render_terminal",
+    "render_markdown",
+    "render_html",
+]
+
+#: Metrics always promoted to the front of a group's column set.
+_PREFERRED = ("mrr", "hits@1", "hits@3", "hits@10", "valid_mrr", "loss", "wall_time_s")
+_MAX_COLUMNS = 8
+
+
+GroupKey = Tuple[str, str, str]
+
+
+def group_records(records: Sequence[Dict]) -> Dict[GroupKey, List[Dict]]:
+    """Bucket records by (kind, model, dataset), preserving order."""
+    groups: Dict[GroupKey, List[Dict]] = {}
+    for record in records:
+        bench = record.get("bench") or {}
+        key = (
+            str(record.get("kind", "run")),
+            str(record.get("model") or bench.get("name") or "-"),
+            str(record.get("dataset") or "-"),
+        )
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def metric_series(records: Sequence[Dict]) -> Dict[str, List[Optional[float]]]:
+    """Per-metric value sequence across a group's runs (None = absent)."""
+    flats = [flatten_metrics(r) for r in records]
+    names: List[str] = []
+    for flat in flats:
+        for name in flat:
+            if name not in names:
+                names.append(name)
+    return {name: [flat.get(name) for flat in flats] for name in names}
+
+
+def _select_columns(series: Dict[str, List[Optional[float]]]) -> List[str]:
+    """Preferred metrics first, then the most densely observed."""
+    chosen = [name for name in _PREFERRED if name in series]
+    rest = sorted(
+        (n for n in series if n not in chosen),
+        key=lambda n: (-sum(v is not None for v in series[n]), n),
+    )
+    return (chosen + rest)[:_MAX_COLUMNS]
+
+
+def _fmt(value: Optional[float], width: int = 10) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:>{width}.4g}"
+
+
+def _run_rows(records: Sequence[Dict], columns: Sequence[str], last: int) -> List[List[str]]:
+    rows = []
+    for record in list(records)[-last:]:
+        flat = flatten_metrics(record)
+        run_id = str(record.get("run_id", "-"))
+        rows.append(
+            [
+                run_id.split("-")[-1] if "-" in run_id else run_id,
+                str(record.get("timestamp", "-"))[:16],
+                str(record.get("git_sha") or "-"),
+                str(record.get("seed", "-")),
+                *[_fmt(flat.get(c)).strip() for c in columns],
+            ]
+        )
+    return rows
+
+
+def _spark_values(values: Sequence[Optional[float]]) -> List[float]:
+    return [v for v in values if v is not None]
+
+
+def render_terminal(
+    ledger: RunLedger,
+    kind: Optional[str] = None,
+    model: Optional[str] = None,
+    dataset: Optional[str] = None,
+    last: int = 20,
+) -> str:
+    """The default ``repro report`` view."""
+    records = ledger.records(kind=kind, model=model, dataset=dataset)
+    if not records:
+        return f"no runs in {ledger.path}"
+    out: List[str] = [f"run ledger: {ledger.path}  ({len(records)} records)"]
+    for (g_kind, g_model, g_dataset), group in group_records(records).items():
+        series = metric_series(group)
+        columns = _select_columns(series)
+        out.append("")
+        out.append(f"== {g_kind} · {g_model} · {g_dataset} ==  ({len(group)} runs)")
+        if not columns:
+            out.append("  (no numeric metrics)")
+            continue
+        width = max(len(c) for c in columns) + 2
+        for name in columns:
+            values = _spark_values(series[name])
+            latest = values[-1] if values else None
+            out.append(
+                f"  {name:<{width}} {sparkline(values):<24} "
+                f"last={_fmt(latest).strip()}  n={len(values)}"
+            )
+        header = ["run", "when", "sha", "seed", *columns]
+        rows = _run_rows(group, columns, last)
+        widths = [max([len(h)] + [len(r[i]) for r in rows]) for i, h in enumerate(header)]
+        out.append("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            out.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_markdown(
+    ledger: RunLedger,
+    kind: Optional[str] = None,
+    model: Optional[str] = None,
+    dataset: Optional[str] = None,
+    last: int = 20,
+) -> str:
+    records = ledger.records(kind=kind, model=model, dataset=dataset)
+    out: List[str] = ["# Run ledger report", "", f"`{ledger.path}` — {len(records)} records."]
+    for (g_kind, g_model, g_dataset), group in group_records(records).items():
+        series = metric_series(group)
+        columns = _select_columns(series)
+        out.append("")
+        out.append(f"## {g_kind} · {g_model} · {g_dataset} ({len(group)} runs)")
+        if not columns:
+            out.append("_(no numeric metrics)_")
+            continue
+        out.append("")
+        out.append("| metric | trend | last |")
+        out.append("|---|---|---|")
+        for name in columns:
+            values = _spark_values(series[name])
+            latest = _fmt(values[-1]).strip() if values else "-"
+            out.append(f"| {name} | `{sparkline(values)}` | {latest} |")
+        out.append("")
+        header = ["run", "when", "sha", "seed", *columns]
+        out.append("| " + " | ".join(header) + " |")
+        out.append("|" + "---|" * len(header))
+        for row in _run_rows(group, columns, last):
+            out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out) + "\n"
+
+
+def render_html(
+    ledger: RunLedger,
+    kind: Optional[str] = None,
+    model: Optional[str] = None,
+    dataset: Optional[str] = None,
+    last: int = 20,
+) -> str:
+    """Self-contained static HTML (no scripts, safe as a CI artifact)."""
+    records = ledger.records(kind=kind, model=model, dataset=dataset)
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>repro run ledger</title>",
+        "<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:2px 8px;text-align:right}"
+        "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+        ".spark{font-size:1.2em}</style></head><body>",
+        f"<h1>Run ledger</h1><p>{_html.escape(ledger.path)} — {len(records)} records</p>",
+    ]
+    for (g_kind, g_model, g_dataset), group in group_records(records).items():
+        series = metric_series(group)
+        columns = _select_columns(series)
+        title = _html.escape(f"{g_kind} · {g_model} · {g_dataset}")
+        parts.append(f"<h2>{title} ({len(group)} runs)</h2>")
+        if not columns:
+            parts.append("<p>(no numeric metrics)</p>")
+            continue
+        parts.append("<table><tr><th>metric</th><th>trend</th><th>last</th></tr>")
+        for name in columns:
+            values = _spark_values(series[name])
+            latest = _fmt(values[-1]).strip() if values else "-"
+            parts.append(
+                f"<tr><td>{_html.escape(name)}</td>"
+                f"<td class='spark'>{_html.escape(sparkline(values))}</td>"
+                f"<td>{latest}</td></tr>"
+            )
+        parts.append("</table><br>")
+        header = ["run", "when", "sha", "seed", *columns]
+        parts.append("<table><tr>" + "".join(f"<th>{_html.escape(h)}</th>" for h in header) + "</tr>")
+        for row in _run_rows(group, columns, last):
+            parts.append("<tr>" + "".join(f"<td>{_html.escape(c)}</td>" for c in row) + "</tr>")
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

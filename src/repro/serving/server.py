@@ -22,11 +22,14 @@ requests are coalesced by the engine's micro-batcher.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from repro.obs.health import health_counter
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.runs import RunLedger, default_ledger_path
 from repro.obs.trace import span
 from repro.serving.engine import InferenceEngine
 from repro.serving.stats import ServerStats
@@ -250,6 +253,36 @@ def _engine_collector(engine: InferenceEngine, registry: MetricsRegistry):
     return collect
 
 
+def _ledger_collector(registry: MetricsRegistry):
+    """Expose run-ledger record counts by kind on ``/metrics``.
+
+    Reads the default ledger lazily at scrape time, cached on the
+    file's (mtime, size) so an idle server costs one ``stat`` per
+    scrape, not a re-parse.
+    """
+    rows = registry.gauge(
+        "repro_run_ledger_records",
+        "Records in the run ledger by kind.",
+        labelnames=("kind",),
+    )
+    cache = {"stamp": None, "counts": {}}
+
+    def collect() -> None:
+        path = default_ledger_path()
+        try:
+            stat = os.stat(path)
+            stamp = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            return
+        if stamp != cache["stamp"]:
+            cache["counts"] = RunLedger(path).counts_by_kind()
+            cache["stamp"] = stamp
+        for kind, count in cache["counts"].items():
+            rows.labels(kind=kind).set(count)
+
+    return collect
+
+
 class ServingServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the engine + stats singletons."""
 
@@ -264,9 +297,16 @@ class ServingServer(ThreadingHTTPServer):
         self._collector = self.registry.register_collector(
             _engine_collector(engine, self.registry)
         )
+        # health events + run-ledger counts render on /metrics even
+        # before anything fires (families are created idempotently)
+        health_counter(self.registry)
+        self._ledger_collector = self.registry.register_collector(
+            _ledger_collector(self.registry)
+        )
 
     def server_close(self) -> None:
         self.registry.unregister_collector(self._collector)
+        self.registry.unregister_collector(self._ledger_collector)
         super().server_close()
 
     @property

@@ -7,13 +7,17 @@ snapshot; at each evaluation timestamp the model scores every query
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.data.dataset import SplitView, TKGDataset
+from repro.obs.logging import log_event
 from repro.training.metrics import RankingResult, filtered_ranks, summarize_ranks
+
+logger = logging.getLogger(__name__)
 
 
 def build_time_filter(
@@ -92,7 +96,17 @@ class Evaluator:
                 scores = model.predict_entities(window, queries)
                 ranks.append(filtered_ranks(scores, queries, time_filter))
             window_builder.absorb(quads)
-        return summarize_ranks(ranks)
+        result = summarize_ranks(ranks)
+        log_event(
+            logger,
+            "eval.walk",
+            _level=logging.DEBUG,
+            timestamps=len(items),
+            queries=int(sum(len(r) for r in ranks)),
+            mrr=result.mrr,
+            two_phase=two_phase,
+        )
+        return result
 
     def evaluate_relations(
         self,

@@ -8,7 +8,7 @@ run 3-5 seeds and look at the aggregate this module produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,19 +41,66 @@ class AggregateMetric:
 def run_seeds(
     run_fn: Callable[[int], Dict[str, float]],
     seeds: Sequence[int] = (1, 2, 3),
+    ledger=None,
+    context: Optional[Dict[str, object]] = None,
 ) -> Dict[str, AggregateMetric]:
     """Call ``run_fn(seed)`` per seed; aggregate its numeric outputs.
 
     ``run_fn`` returns a flat dict of metric name -> value; non-numeric
     entries are ignored.
+
+    When ``ledger`` (a :class:`repro.obs.runs.RunLedger`) is given, one
+    ``kind="seed"`` record is appended per seed plus one
+    ``kind="multiseed"`` summary record carrying ``<metric>_mean`` /
+    ``<metric>_std``, all linked through a shared ``group`` id — seed
+    variance becomes queryable from ``repro report``.  ``context`` may
+    carry ``model`` / ``dataset`` plus any config fields to fingerprint.
     """
+    context = dict(context or {})
+    model = context.pop("model", None)
+    dataset = context.pop("dataset", None)
+    group = None
+    if ledger is not None:
+        from repro.obs.runs import new_run_id
+
+        group = new_run_id()
     collected: Dict[str, List[float]] = {}
     for seed in seeds:
         result = run_fn(seed)
+        numeric: Dict[str, float] = {}
         for name, value in result.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 collected.setdefault(name, []).append(float(value))
-    return {name: AggregateMetric.from_values(vals) for name, vals in collected.items()}
+                numeric[name] = float(value)
+        if ledger is not None:
+            ledger.append(
+                kind="seed",
+                model=model,
+                dataset=dataset,
+                seed=seed,
+                config=context or None,
+                metrics=numeric,
+                extra={"group": group},
+            )
+    aggregates = {name: AggregateMetric.from_values(vals) for name, vals in collected.items()}
+    if ledger is not None:
+        summary = {}
+        for name, agg in aggregates.items():
+            summary[f"{name}_mean"] = agg.mean
+            summary[f"{name}_std"] = agg.std
+        ledger.append(
+            kind="multiseed",
+            model=model,
+            dataset=dataset,
+            config=context or None,
+            metrics=summary,
+            extra={
+                "group": group,
+                "seeds": [int(s) for s in seeds],
+                "values": {name: agg.values for name, agg in aggregates.items()},
+            },
+        )
+    return aggregates
 
 
 def significant_difference(

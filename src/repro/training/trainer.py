@@ -18,8 +18,10 @@ import numpy as np
 from repro.data.dataset import TKGDataset
 from repro.nn import Adam, clip_grad_norm_
 from repro.core.window import WindowBuilder
+from repro.obs.health import HealthMonitor
 from repro.obs.logging import configure_logging, log_event
 from repro.obs.metrics import get_registry
+from repro.obs.runs import new_run_id
 from repro.obs.trace import span
 from repro.training.evaluator import Evaluator
 from repro.training.metrics import RankingResult
@@ -61,10 +63,13 @@ class Trainer:
         weight_decay: float = 0.0,
         scheduler_factory: Optional[Callable] = None,
         seed: int = 0,
+        health: Optional[HealthMonitor] = None,
+        run_id: Optional[str] = None,
     ):
         self.model = model
         self.dataset = dataset
         self.seed = seed
+        self.run_id = run_id or new_run_id()
         seed_everything(seed)
         self.window_builder = WindowBuilder(
             dataset.num_entities,
@@ -79,6 +84,24 @@ class Trainer:
         self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
         self.grad_clip = grad_clip
         self.evaluator = Evaluator(dataset)
+        # Health watchdogs ride along by default (NaN/Inf aborts; trend
+        # events warn).  Pass ``health=False`` to opt out entirely, or a
+        # configured HealthMonitor to set policies and a bundle dir.
+        if health is False:
+            self.health: Optional[HealthMonitor] = None
+        else:
+            self.health = health or HealthMonitor(
+                run_id=self.run_id,
+                context={
+                    "history_length": history_length,
+                    "granularity": granularity,
+                    "use_global": use_global,
+                    "learning_rate": learning_rate,
+                    "grad_clip": grad_clip,
+                    "seed": seed,
+                },
+            )
+        self._epoch_index = 0
         gauges = get_registry()
         self._gauge_loss = gauges.gauge(
             "repro_train_epoch_loss", "Mean training loss of the latest epoch."
@@ -102,6 +125,15 @@ class Trainer:
             delta_sq += float(((param.data - prev) ** 2).sum())
             theta_sq += float((param.data**2).sum())
         return float(np.sqrt(delta_sq) / max(np.sqrt(theta_sq), 1e-12))
+
+    def final_gauges(self) -> Dict[str, float]:
+        """Latest training gauges — the ledger's ``metrics`` tail."""
+        return {
+            "loss": self._gauge_loss.value,
+            "valid_mrr": self._gauge_mrr.value,
+            "grad_norm": self._gauge_grad_norm.value,
+            "update_ratio": self._gauge_update_ratio.value,
+        }
 
     def train_epoch(self, max_timestamps: Optional[int] = None) -> float:
         """One pass over the training timeline; returns mean loss."""
@@ -134,9 +166,17 @@ class Trainer:
                     if first_step:
                         self._gauge_update_ratio.set(self._update_ratio(before))
                     losses.append(loss.item())
+                    if self.health is not None:
+                        self.health.observe_step(
+                            losses[-1],
+                            grad_norm=grad_norms[-1],
+                            step=int(t),
+                            epoch=self._epoch_index,
+                        )
             builder.absorb(quads)
         if grad_norms:
             self._gauge_grad_norm.set(float(np.mean(grad_norms)))
+        self._epoch_index += 1
         return float(np.mean(losses)) if losses else 0.0
 
     # ------------------------------------------------------------------
@@ -219,6 +259,8 @@ class Trainer:
                     grad_norm=self._gauge_grad_norm.value,
                     update_ratio=self._gauge_update_ratio.value,
                 )
+                if self.health is not None:
+                    self.health.observe_epoch(epoch, loss, valid_mrr=valid_mrr)
                 if callback is not None:
                     callback(epoch, loss, valid_mrr)
                 if patience is not None and stale > patience:

@@ -1,0 +1,205 @@
+"""Tests for ``repro.obs.health``: watchdogs, bundles, trainer integration."""
+
+import json
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Module, Parameter
+from repro.obs.health import (
+    HealthMonitor,
+    TrainingAborted,
+    WatchdogPolicy,
+    health_counter,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.training import Trainer
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestObserveStep:
+    def test_nan_gradient_aborts_by_default(self, registry):
+        monitor = HealthMonitor(registry=registry)
+        with pytest.raises(TrainingAborted) as excinfo:
+            monitor.observe_step(0.5, grad_norm=float("nan"), step=3, epoch=0)
+        assert "nan_gradient" in str(excinfo.value)
+        assert excinfo.value.event["type"] == "nan_gradient"
+        assert monitor.events[0]["step"] == 3
+
+    def test_inf_loss_aborts(self, registry):
+        monitor = HealthMonitor(registry=registry)
+        with pytest.raises(TrainingAborted):
+            monitor.observe_step(float("inf"))
+
+    def test_finite_values_pass(self, registry):
+        monitor = HealthMonitor(registry=registry)
+        monitor.observe_step(0.5, grad_norm=2.0)
+        assert monitor.events == []
+
+    def test_warn_policy_continues(self, registry, caplog):
+        monitor = HealthMonitor(
+            policy=WatchdogPolicy(nan_policy="warn"), registry=registry
+        )
+        with caplog.at_level(logging.ERROR, logger="repro.obs.health"):
+            monitor.observe_step(float("nan"))
+        assert monitor.events[0]["type"] == "nan_loss"
+        assert any(r.event == "health.nan_loss" for r in caplog.records)
+
+    def test_off_policy_is_silent(self, registry):
+        monitor = HealthMonitor(
+            policy=WatchdogPolicy(nan_policy="off"), registry=registry
+        )
+        monitor.observe_step(float("nan"), grad_norm=float("nan"))
+        assert monitor.events == []
+
+    def test_counter_increments_by_type(self, registry):
+        monitor = HealthMonitor(
+            policy=WatchdogPolicy(nan_policy="warn"), registry=registry
+        )
+        monitor.observe_step(float("nan"))
+        monitor.observe_step(float("nan"))
+        counter = health_counter(registry)
+        assert counter.labels(type="nan_loss").value == 2
+
+
+class TestObserveEpoch:
+    def test_divergence_fires_after_blowup(self, registry, caplog):
+        monitor = HealthMonitor(registry=registry)
+        monitor.observe_epoch(0, 0.5)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.health"):
+            monitor.observe_epoch(1, 5.01)  # > 10 * 0.5
+        assert monitor.events[0]["type"] == "loss_divergence"
+        assert monitor.events[0]["best_loss"] == 0.5
+
+    def test_divergence_needs_history(self, registry):
+        monitor = HealthMonitor(registry=registry)
+        monitor.observe_epoch(0, 1000.0)  # first epoch: no best yet
+        assert monitor.events == []
+
+    def test_plateau_fires_and_rearms(self, registry):
+        policy = WatchdogPolicy(plateau_patience=2)
+        monitor = HealthMonitor(policy=policy, registry=registry)
+        monitor.observe_epoch(0, 0.5, valid_mrr=0.4)
+        monitor.observe_epoch(1, 0.5, valid_mrr=0.39)
+        monitor.observe_epoch(2, 0.5, valid_mrr=0.38)
+        plateaus = [e for e in monitor.events if e["type"] == "plateau"]
+        assert len(plateaus) == 1
+        # re-armed: two more stale evals needed before firing again
+        monitor.observe_epoch(3, 0.5, valid_mrr=0.37)
+        assert len([e for e in monitor.events if e["type"] == "plateau"]) == 1
+        monitor.observe_epoch(4, 0.5, valid_mrr=0.36)
+        assert len([e for e in monitor.events if e["type"] == "plateau"]) == 2
+
+    def test_plateau_disabled_by_default(self, registry):
+        monitor = HealthMonitor(registry=registry)
+        for epoch in range(5):
+            monitor.observe_epoch(epoch, 0.5, valid_mrr=0.4)
+        assert monitor.events == []
+
+
+class TestBundles:
+    def test_bundle_written_on_abort(self, registry, tmp_path):
+        monitor = HealthMonitor(
+            bundle_dir=str(tmp_path),
+            context={"learning_rate": 0.01},
+            run_id="r1",
+            registry=registry,
+        )
+        with pytest.raises(TrainingAborted) as excinfo:
+            monitor.observe_step(float("nan"), step=2, epoch=1)
+        bundle = excinfo.value.bundle
+        assert bundle and os.path.isdir(bundle)
+        manifest = json.loads(open(os.path.join(bundle, "bundle.json")).read())
+        assert manifest["reason"] == "nan_loss"
+        assert manifest["run_id"] == "r1"
+        assert manifest["context"]["learning_rate"] == 0.01
+        assert manifest["events"][0]["type"] == "nan_loss"
+        snapshot = json.loads(open(os.path.join(bundle, "metrics.json")).read())
+        assert "repro_health_events_total" in snapshot
+
+    def test_one_bundle_per_event_type(self, registry, tmp_path):
+        monitor = HealthMonitor(
+            policy=WatchdogPolicy(nan_policy="warn"),
+            bundle_dir=str(tmp_path),
+            registry=registry,
+        )
+        monitor.observe_step(float("nan"))
+        monitor.observe_step(float("nan"))
+        bundles = [p for p in os.listdir(tmp_path) if p.startswith("diag-")]
+        assert len(bundles) == 1
+
+    def test_no_bundle_dir_means_no_disk_writes(self, registry, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monitor = HealthMonitor(registry=registry)
+        with pytest.raises(TrainingAborted) as excinfo:
+            monitor.observe_step(float("nan"))
+        assert excinfo.value.bundle is None
+        assert os.listdir(tmp_path) == []
+
+
+class _PoisonedModel(Module):
+    """Minimal window-consuming model whose gradients are NaN."""
+
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3))
+
+    def loss(self, window, queries):
+        return (self.w * float("nan")).sum()
+
+    def predict_entities(self, window, queries):  # pragma: no cover - unused
+        return np.zeros((len(queries), 3))
+
+
+class TestTrainerIntegration:
+    def test_forced_nan_gradient_aborts_training_with_bundle(
+        self, tiny_dataset, tmp_path, caplog, registry
+    ):
+        monitor = HealthMonitor(
+            bundle_dir=str(tmp_path / "diag"),
+            registry=registry,
+            run_id="nan-run",
+        )
+        trainer = Trainer(
+            _PoisonedModel(),
+            tiny_dataset,
+            history_length=2,
+            use_global=False,
+            health=monitor,
+        )
+        with caplog.at_level(logging.ERROR, logger="repro.obs.health"):
+            with pytest.raises(TrainingAborted) as excinfo:
+                trainer.train_epoch(max_timestamps=4)
+        assert excinfo.value.event["type"] == "nan_gradient"
+        # structured log event fired
+        assert any(getattr(r, "event", None) == "health.nan_gradient"
+                   for r in caplog.records)
+        # counter bumped
+        assert health_counter(registry).labels(type="nan_gradient").value >= 1
+        # diagnostic bundle on disk
+        bundle = excinfo.value.bundle
+        assert bundle and os.path.isfile(os.path.join(bundle, "bundle.json"))
+
+    def test_health_false_disables_watchdogs(self, tiny_dataset):
+        trainer = Trainer(
+            _PoisonedModel(),
+            tiny_dataset,
+            history_length=2,
+            use_global=False,
+            health=False,
+        )
+        loss = trainer.train_epoch(max_timestamps=4)  # no abort
+        assert np.isnan(loss)
+
+    def test_trainer_attaches_default_monitor(self, tiny_dataset):
+        trainer = Trainer(
+            _PoisonedModel(), tiny_dataset, history_length=2, use_global=False
+        )
+        assert isinstance(trainer.health, HealthMonitor)
+        assert trainer.health.context["history_length"] == 2

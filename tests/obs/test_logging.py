@@ -1,0 +1,76 @@
+"""Tests for ``repro.obs.logging``: idempotent configuration and structured events."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import LOG_FORMAT, configure_logging, log_event
+
+
+@pytest.fixture()
+def clean_repro_logger():
+    """Detach any handler configure_logging installed, restoring prior state."""
+    logger = logging.getLogger("repro")
+    saved_handlers = list(logger.handlers)
+    saved_level = logger.level
+    yield logger
+    logger.handlers[:] = saved_handlers
+    logger.setLevel(saved_level)
+
+
+def test_configure_logging_is_idempotent(clean_repro_logger):
+    before = len(clean_repro_logger.handlers)
+    configure_logging("INFO")
+    after_first = len(clean_repro_logger.handlers)
+    configure_logging("INFO")
+    configure_logging("DEBUG")
+    assert len(clean_repro_logger.handlers) == after_first
+    assert after_first == before + 1
+
+
+def test_configure_logging_retunes_level(clean_repro_logger):
+    logger = configure_logging("WARNING")
+    assert logger.level == logging.WARNING
+    logger = configure_logging("DEBUG")
+    assert logger.level == logging.DEBUG
+
+
+def test_configure_logging_writes_to_stream(clean_repro_logger):
+    stream = io.StringIO()
+    logger = configure_logging("INFO", stream=stream)
+    log_event(logger, "unit.test", value=1)
+    assert "unit.test value=1" in stream.getvalue()
+
+
+def test_log_event_attaches_structured_fields(caplog):
+    logger = logging.getLogger("repro.tests.structured")
+    with caplog.at_level(logging.INFO, logger="repro.tests.structured"):
+        log_event(logger, "train.epoch", epoch=3, loss=0.25, skipped=None)
+    assert len(caplog.records) == 1
+    record = caplog.records[0]
+    assert record.event == "train.epoch"
+    assert record.fields == {"epoch": 3, "loss": 0.25}
+    assert "skipped" not in record.getMessage()
+    assert record.getMessage().startswith("train.epoch ")
+    assert "epoch=3" in record.getMessage()
+    assert "loss=0.25" in record.getMessage()
+
+
+def test_log_event_respects_level_gating(caplog):
+    logger = logging.getLogger("repro.tests.gated")
+    with caplog.at_level(logging.WARNING, logger="repro.tests.gated"):
+        log_event(logger, "quiet.event", _level=logging.DEBUG, x=1)
+    assert caplog.records == []
+
+
+def test_log_event_formats_floats_compactly(caplog):
+    logger = logging.getLogger("repro.tests.floats")
+    with caplog.at_level(logging.INFO, logger="repro.tests.floats"):
+        log_event(logger, "fmt", ratio=0.3333333333333)
+    assert "ratio=0.333333" in caplog.records[0].getMessage()
+
+
+def test_log_format_has_standard_fields():
+    for token in ("%(asctime)s", "%(levelname)s", "%(name)s", "%(message)s"):
+        assert token in LOG_FORMAT

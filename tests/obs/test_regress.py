@@ -1,0 +1,121 @@
+"""Tests for ``repro.obs.regress``: noise-aware baseline comparison."""
+
+import pytest
+
+from repro.obs.regress import (
+    LOWER_BETTER_POLICY,
+    QUALITY_POLICY,
+    THROUGHPUT_POLICY,
+    MetricPolicy,
+    check_latest,
+    compare_to_baseline,
+    main,
+    policy_for,
+)
+from repro.obs.runs import RunLedger
+
+
+def _train_row(ledger, mrr, loss=0.5, qps=100.0):
+    ledger.append(
+        kind="train",
+        model="hisres",
+        dataset="icews14s_small",
+        metrics={"mrr": mrr, "loss": loss, "steps_per_second": qps},
+    )
+
+
+def test_policy_for_uses_name_hints():
+    assert policy_for("mrr") is QUALITY_POLICY
+    assert policy_for("hits@10") is QUALITY_POLICY
+    assert policy_for("loss") is LOWER_BETTER_POLICY
+    assert policy_for("predict_p95_ms") is LOWER_BETTER_POLICY
+    assert policy_for("walk_steps_per_second") is THROUGHPUT_POLICY
+    override = MetricPolicy(higher_is_better=False, rel_tol=0.01)
+    assert policy_for("mrr", {"mrr": override}) is override
+
+
+def test_quality_drop_regresses():
+    history = [{"mrr": 40.0}, {"mrr": 41.0}, {"mrr": 40.5}]
+    report = compare_to_baseline({"mrr": 32.0}, history)  # 20% drop
+    assert not report.ok
+    assert report.regressions[0].metric == "mrr"
+    assert "regressed" in report.format_table()
+
+
+def test_equal_median_rerun_passes():
+    history = [{"mrr": 40.0}, {"mrr": 41.0}, {"mrr": 40.5}]
+    report = compare_to_baseline({"mrr": 40.5}, history)
+    assert report.ok
+    assert report.verdicts[0].status == "ok"
+
+
+def test_lower_better_direction_for_loss():
+    history = [{"loss": 0.50}, {"loss": 0.52}, {"loss": 0.48}]
+    worse = compare_to_baseline({"loss": 1.2}, history)
+    assert not worse.ok
+    better = compare_to_baseline({"loss": 0.30}, history)
+    assert better.ok
+    assert better.verdicts[0].status == "improved"
+
+
+def test_throughput_gets_loose_band():
+    history = [{"steps_per_second": 100.0}] * 4
+    # 20% slower stays within the 30% throughput band
+    assert compare_to_baseline({"steps_per_second": 80.0}, history).ok
+    # but a halving regresses
+    assert not compare_to_baseline({"steps_per_second": 50.0}, history).ok
+
+
+def test_mad_widens_tolerance_for_noisy_metrics():
+    noisy = [{"mrr": v} for v in (30.0, 50.0, 35.0, 48.0, 32.0)]
+    stable = [{"mrr": v} for v in (40.0, 40.1, 39.9, 40.0, 40.05)]
+    current = {"mrr": 33.0}
+    assert compare_to_baseline(current, noisy).ok
+    assert not compare_to_baseline(current, stable).ok
+
+
+def test_no_baseline_is_not_a_failure():
+    report = compare_to_baseline({"mrr": 40.0}, [])
+    assert report.ok
+    assert report.verdicts[0].status == "no_baseline"
+
+
+def test_metrics_filter_limits_judgement():
+    history = [{"mrr": 40.0, "loss": 0.5}] * 3
+    report = compare_to_baseline({"mrr": 30.0, "loss": 0.5}, history, metrics=["loss"])
+    assert report.ok
+    assert [v.metric for v in report.verdicts] == ["loss"]
+
+
+def test_check_latest_reads_ledger(tmp_path):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    for mrr in (40.0, 41.0, 40.5):
+        _train_row(ledger, mrr)
+    _train_row(ledger, 32.0)
+    report = check_latest(ledger, kind="train", model="hisres")
+    assert not report.ok
+    assert {v.metric for v in report.regressions} == {"mrr"}
+    assert "vs median of last 3 run(s)" in report.note
+
+
+def test_check_latest_empty_ledger(tmp_path):
+    ledger = RunLedger(str(tmp_path / "missing.jsonl"))
+    report = check_latest(ledger)
+    assert report.ok
+    assert "no matching runs" in report.note
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    path = str(tmp_path / "ledger.jsonl")
+    ledger = RunLedger(path)
+    for mrr in (40.0, 41.0, 40.5):
+        _train_row(ledger, mrr)
+    _train_row(ledger, 40.5)
+    assert main(["--ledger", path, "--kind", "train"]) == 0
+
+    _train_row(ledger, 32.0)  # synthetic 20% MRR drop
+    code = main(["--ledger", path, "--kind", "train", "--metrics", "mrr"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "REGRESSION: mrr" in captured.err
+    assert "regressed" in captured.out

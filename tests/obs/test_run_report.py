@@ -1,0 +1,112 @@
+"""Tests for ``repro.obs.report``: ledger trajectory rendering."""
+
+import pytest
+
+from repro.obs.report import (
+    group_records,
+    metric_series,
+    render_html,
+    render_markdown,
+    render_terminal,
+)
+from repro.obs.runs import RunLedger, write_bench_report
+
+
+@pytest.fixture()
+def populated_ledger(tmp_path):
+    """Two train runs plus one bench run — the acceptance scenario."""
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    for seed, mrr in ((1, 38.0), (2, 41.5)):
+        ledger.append(
+            kind="train",
+            model="hisres",
+            dataset="icews14s_small",
+            seed=seed,
+            metrics={"mrr": mrr, "hits@10": mrr + 20.0, "loss": 5.0 - seed},
+        )
+    write_bench_report(
+        "encoder_throughput",
+        {"walk_steps_per_second": 120.0},
+        ledger=ledger,
+        dataset="icews14s_small",
+    )
+    return ledger
+
+
+def test_group_records_keys():
+    records = [
+        {"kind": "train", "model": "hisres", "dataset": "d1"},
+        {"kind": "train", "model": "hisres", "dataset": "d1"},
+        {"kind": "bench", "bench": {"name": "enc"}, "dataset": "d1"},
+        {"kind": "eval"},
+    ]
+    groups = group_records(records)
+    assert set(groups) == {
+        ("train", "hisres", "d1"),
+        ("bench", "enc", "d1"),
+        ("eval", "-", "-"),
+    }
+    assert len(groups[("train", "hisres", "d1")]) == 2
+
+
+def test_metric_series_aligns_runs():
+    records = [
+        {"kind": "train", "metrics": {"mrr": 0.4}},
+        {"kind": "train", "metrics": {"mrr": 0.5, "loss": 1.0}},
+    ]
+    series = metric_series(records)
+    assert series["mrr"] == [0.4, 0.5]
+    assert series["loss"] == [None, 1.0]
+
+
+def test_render_terminal_shows_trajectory(populated_ledger):
+    text = render_terminal(populated_ledger)
+    assert "3 records" in text
+    assert "train · hisres · icews14s_small" in text
+    assert "bench · encoder_throughput · icews14s_small" in text
+    assert "mrr" in text
+    assert "walk_steps_per_second" in text
+    assert "last=41.5" in text
+    assert "n=2" in text
+
+
+def test_render_terminal_filters(populated_ledger):
+    text = render_terminal(populated_ledger, kind="train")
+    assert "train · hisres" in text
+    assert "encoder_throughput" not in text
+
+
+def test_render_terminal_empty(tmp_path):
+    ledger = RunLedger(str(tmp_path / "none.jsonl"))
+    assert render_terminal(ledger).startswith("no runs in ")
+
+
+def test_render_markdown_pipe_tables(populated_ledger):
+    md = render_markdown(populated_ledger)
+    assert md.startswith("# Run ledger report")
+    assert "| metric | trend | last |" in md
+    assert "## train · hisres · icews14s_small (2 runs)" in md
+    assert "| mrr |" in md
+
+
+def test_render_html_is_escaped_and_static(populated_ledger):
+    populated_ledger.append(
+        kind="train", model="<script>alert(1)</script>", metrics={"mrr": 0.1}
+    )
+    html = render_html(populated_ledger)
+    assert html.startswith("<!doctype html>")
+    assert "<script>" not in html
+    assert "&lt;script&gt;" in html
+    assert "encoder_throughput" in html
+
+
+def test_last_limits_table_rows(tmp_path):
+    ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+    for i in range(10):
+        ledger.append(kind="train", model="m", dataset="d",
+                      run_id=f"run-{i:03d}", metrics={"mrr": float(i)})
+    text = render_terminal(ledger, last=3)
+    assert "009" in text and "007" in text
+    assert "001" not in text
+    # sparkline still covers the full series
+    assert "n=10" in text

@@ -123,3 +123,83 @@ class TestProfileCommand:
             "stats", "unit_tiny",
         ]) == 0
         json.loads(capsys.readouterr().out)
+
+
+class TestLedgerCommands:
+    TRAIN = ["train", "distmult", "unit_tiny",
+             "--dim", "8", "--epochs", "1", "--patience", "1"]
+
+    def test_train_appends_ledger_record(self, tmp_path, capsys):
+        from repro.obs.runs import RunLedger
+
+        ledger_path = str(tmp_path / "ledger.jsonl")
+        assert main(self.TRAIN + ["--ledger", ledger_path]) == 0
+        row = json.loads(capsys.readouterr().out)
+        records = RunLedger(ledger_path).records(kind="train")
+        assert len(records) == 1
+        record = records[0]
+        assert record["run_id"] == row["run_id"]
+        assert record["model"] == "distmult"
+        assert record["dataset"] == "unit_tiny"
+        assert record["schema_version"] == 1
+        assert record["metrics"]["mrr"] == pytest.approx(row["mrr"])
+        assert record["config_fingerprint"]
+
+    def test_train_trace_path_lands_in_ledger(self, tmp_path, capsys):
+        """Satellite: --trace output path is part of the run's record."""
+        from repro.obs.runs import RunLedger
+
+        ledger_path = str(tmp_path / "ledger.jsonl")
+        trace = str(tmp_path / "trace.json")
+        code = main(self.TRAIN + ["--ledger", ledger_path, "--trace", trace])
+        assert code == 0
+        assert os.path.exists(trace)
+        record = RunLedger(ledger_path).records(kind="train")[0]
+        assert record["extra"]["trace_path"] == trace
+
+    def test_train_no_ledger_skips_emission(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_LEDGER", str(tmp_path / "ledger.jsonl"))
+        assert main(self.TRAIN + ["--no-ledger"]) == 0
+        capsys.readouterr()
+        assert not os.path.exists(str(tmp_path / "ledger.jsonl"))
+
+    def test_report_renders_trajectory(self, tmp_path, capsys):
+        """Acceptance: two train runs + one bench run render as one report."""
+        from repro.obs.runs import RunLedger, write_bench_report
+
+        ledger_path = str(tmp_path / "ledger.jsonl")
+        for seed in ("3", "4"):
+            assert main(self.TRAIN + ["--ledger", ledger_path, "--seed", seed]) == 0
+        write_bench_report(
+            "encoder_throughput", {"walk_steps_per_second": 99.0},
+            ledger=RunLedger(ledger_path),
+        )
+        capsys.readouterr()
+        md = str(tmp_path / "report.md")
+        html = str(tmp_path / "report.html")
+        code = main(["report", "--ledger", ledger_path,
+                     "--markdown", md, "--html", html])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "train · distmult · unit_tiny" in out
+        assert "(2 runs)" in out
+        assert "bench · encoder_throughput" in out
+        assert "mrr" in out
+        assert open(md).read().startswith("# Run ledger report")
+        assert open(html).read().startswith("<!doctype html>")
+
+    def test_regress_exit_codes(self, tmp_path, capsys):
+        from repro.obs.runs import RunLedger
+
+        ledger_path = str(tmp_path / "ledger.jsonl")
+        ledger = RunLedger(ledger_path)
+        for mrr in (40.0, 41.0, 40.5, 40.5):
+            ledger.append(kind="train", model="distmult", dataset="unit_tiny",
+                          metrics={"mrr": mrr})
+        assert main(["regress", "--ledger", ledger_path, "--kind", "train"]) == 0
+        ledger.append(kind="train", model="distmult", dataset="unit_tiny",
+                      metrics={"mrr": 32.0})  # 20% drop
+        code = main(["regress", "--ledger", ledger_path, "--kind", "train"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION: mrr" in captured.err

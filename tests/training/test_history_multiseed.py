@@ -89,6 +89,38 @@ class TestRunSeeds:
         assert "mrr" in result and "name" not in result and "flag" not in result
         assert result["mrr"].mean == pytest.approx(0.42)
 
+    def test_ledger_gets_seed_rows_and_summary(self, tmp_path):
+        from repro.obs.runs import RunLedger
+
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+
+        def run(seed):
+            return {"mrr": 0.4 + seed * 0.01, "hits@1": 0.3}
+
+        run_seeds(run, seeds=(1, 2, 3), ledger=ledger,
+                  context={"model": "distmult", "dataset": "unit_tiny", "dim": 8})
+
+        seed_rows = ledger.records(kind="seed")
+        assert [r["seed"] for r in seed_rows] == [1, 2, 3]
+        assert all(r["model"] == "distmult" for r in seed_rows)
+        assert seed_rows[0]["metrics"]["mrr"] == pytest.approx(0.41)
+        assert seed_rows[0]["config"] == {"dim": 8}
+
+        summaries = ledger.records(kind="multiseed")
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary["metrics"]["mrr_mean"] == pytest.approx(0.42)
+        assert summary["metrics"]["mrr_std"] == pytest.approx(0.01)
+        assert summary["extra"]["seeds"] == [1, 2, 3]
+        # all four rows share one group id
+        groups = {r["extra"]["group"] for r in seed_rows + summaries}
+        assert len(groups) == 1
+
+    def test_no_ledger_means_no_side_effects(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_LEDGER", str(tmp_path / "ledger.jsonl"))
+        run_seeds(lambda seed: {"mrr": 0.4}, seeds=(1,))
+        assert not (tmp_path / "ledger.jsonl").exists()
+
     def test_significant_difference(self):
         a = AggregateMetric.from_values([0.40, 0.41, 0.42])
         b = AggregateMetric.from_values([0.60, 0.61, 0.62])
