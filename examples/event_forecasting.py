@@ -55,10 +55,10 @@ def main():
 
     # Why: the self-gating balance between local evolution and global
     # relevance (Theta near 1 => trust the global encoder)
-    entity_matrix, relation_matrix = model.encode(window)
+    state = model.encode(window)
     if config.use_self_gating_global:
         e_local = model.entity_embedding.all()
-        theta = model.global_gate.gate_values(entity_matrix)
+        theta = model.global_gate.gate_values(state.entity_matrix)
         print(f"global/local gate Theta: mean={theta.data.mean():.3f} "
               f"(std {theta.data.std():.3f})")
 

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.core.hisres import HisRES
 from repro.core.window import HistoryWindow
-from repro.nn.tensor import no_grad
 
 
 def explain_prediction(
@@ -29,9 +28,7 @@ def explain_prediction(
     to the query subject.
     """
     query = np.asarray(query, dtype=np.int64).reshape(1, -1)
-    was_training = model.training
-    model.eval()
-    with no_grad():
+    with model.inference_mode():
         scores = model.predict_entities(window, query)[0]
         explanation: Dict[str, object] = {
             "query": tuple(int(v) for v in query[0][:3]),
@@ -46,10 +43,10 @@ def explain_prediction(
             and window.global_graph.num_edges > 0
             and model.config.global_aggregator == "convgat"
         ):
-            entity_matrix, relation_matrix = model.encode(window)
+            state = model.encode(window)
             layer = model.global_encoder.layers[0]
             weights = layer.edge_attention(
-                entity_matrix, relation_matrix, window.global_graph
+                state.entity_matrix, state.relation_matrix, window.global_graph
             ).data
             graph = window.global_graph
             subject = int(query[0, 0])
@@ -63,8 +60,6 @@ def explain_prediction(
                 for i in order
                 if mask[i]
             ]
-    if was_training:
-        model.train()
     return explanation
 
 
@@ -76,10 +71,8 @@ def gate_summary(model: HisRES, window: HistoryWindow) -> Dict[str, float]:
     mean the gate trusts its primary input (intra-snapshot and global,
     respectively).
     """
-    was_training = model.training
-    model.eval()
     summary: Dict[str, float] = {}
-    with no_grad():
+    with model.inference_mode():
         cfg = model.config
         e_init = model.entity_embedding.all()
         r_init = model.relation_embedding.all()
@@ -100,6 +93,4 @@ def gate_summary(model: HisRES, window: HistoryWindow) -> Dict[str, float]:
             theta = model.global_gate.gate_values(e_global).data
             summary["global_gate_mean"] = float(theta.mean())
             summary["global_gate_std"] = float(theta.std())
-    if was_training:
-        model.train()
     return summary

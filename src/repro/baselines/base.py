@@ -1,4 +1,20 @@
-"""Shared interface for every model the harness can train/evaluate."""
+"""Shared interface for every model the harness can train/evaluate.
+
+Every baseline speaks the encode/decode protocol of the execution
+plane (:mod:`repro.core.execution`):
+
+- **split** models set ``supports_encode_split = True`` and override
+  :meth:`encode` (window -> :class:`EncoderState`) and :meth:`decode`
+  (state + queries -> logits).  Their ``score_entities`` falls through
+  to ``decode(encode(window))`` automatically, and their states are
+  eligible for the encoder-state cache.
+- **fused** models — those whose decoding consumes query-dependent
+  window inputs (per-query vocabulary masks, per-query subgraph
+  expansion) — just implement :meth:`score_entities`.  The inherited
+  :meth:`encode` returns a fused shim state that carries the window,
+  and :meth:`decode` replays the fused path; such states are never
+  cached.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +25,8 @@ import numpy as np
 
 from repro.nn import cross_entropy
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor
+from repro.core.execution import EncoderState, make_fused_state, make_state
 from repro.core.window import HistoryWindow
 
 
@@ -26,11 +43,15 @@ class TKGBaseline(Module):
     """Base class: entity scoring + optional relation scoring.
 
     Subclasses implement :meth:`score_entities` returning logits over
-    all entities; the default :meth:`loss` is cross-entropy on the
-    target objects (inverse queries included by the harness).
+    all entities (fused models), or the encode/decode pair (split
+    models); the default :meth:`loss` is cross-entropy on the target
+    objects (inverse queries included by the harness).
     """
 
     requirements = ModelRequirements()
+    #: Split subclasses (real encode/decode) flip this to True; fused
+    #: models keep False and go through the carry-the-window shim.
+    supports_encode_split = False
 
     def __init__(self, num_entities: int, num_relations: int):
         super().__init__()
@@ -38,7 +59,38 @@ class TKGBaseline(Module):
         self.num_relations = num_relations  # base count; doubled ids used
 
     # ------------------------------------------------------------------
+    # encode/decode protocol
+    # ------------------------------------------------------------------
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        """Fused fallback: a non-cacheable state carrying the window."""
+        return make_fused_state(self, window)
+
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        """Fused fallback: replay the original single-phase path."""
+        if state.window is None:
+            raise ValueError(
+                f"{type(self).__name__} is fused but got a windowless state; "
+                "fused states must come from this model's own encode()"
+            )
+        return self.score_entities(state.window, queries)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Optional[Tensor]:
+        """Relation logits (n, 2|R|), or None for entity-only models."""
+        return None
+
+    def _make_state(
+        self,
+        window: HistoryWindow,
+        entity_matrix: Optional[Tensor],
+        relation_matrix: Optional[Tensor],
+        aux: Tuple[Tensor, ...] = (),
+    ) -> EncoderState:
+        return make_state(self, window, entity_matrix, relation_matrix, aux=aux)
+
+    # ------------------------------------------------------------------
     def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        if self.supports_encode_split:
+            return self.decode(self.encode(window), queries)
         raise NotImplementedError
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
@@ -47,13 +99,8 @@ class TKGBaseline(Module):
         return cross_entropy(logits, queries[:, 2])
 
     def predict_entities(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
-        with no_grad():
-            was_training = self.training
-            self.eval()
-            scores = self.score_entities(window, queries).data
-            if was_training:
-                self.train()
-        return scores
+        with self.inference_mode():
+            return self.decode(self.encode(window), queries).data
 
     def forward(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         return self.score_entities(window, queries)

@@ -21,6 +21,7 @@ from repro.nn.tensor import Tensor
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 
 
@@ -28,6 +29,7 @@ class CEN(TKGBaseline):
     """Ensemble of evolution encoders over multiple history lengths."""
 
     requirements = ModelRequirements(recent_snapshots=True)
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -56,20 +58,26 @@ class CEN(TKGBaseline):
         self.decoder = ConvTransEDecoder(dim, channels=channels, kernel_size=kernel_size, dropout=dropout)
         self.length_weights = Parameter(init.zeros((len(self.lengths),)))
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
-        queries = np.asarray(queries, dtype=np.int64)
-        mix = F.softmax(self.length_weights, axis=0)
-        per_length_scores = []
-        for i, length in enumerate(self.lengths):
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        """Run every per-length encoder once; matrices ride in ``aux``."""
+        aux = []
+        for length in self.lengths:
             snapshots = window.snapshots[-length:] if length else []
             deltas = window.deltas[-length:]
             entity_matrix, _, relation_matrix = self.encoder(
                 self.entity.all(), self.relation.all(), snapshots, [], deltas
             )
+            aux.extend((entity_matrix, relation_matrix))
+        return self._make_state(window, None, None, aux=tuple(aux))
+
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        mix = F.softmax(self.length_weights, axis=0)
+        total = None
+        for i in range(len(self.lengths)):
+            entity_matrix, relation_matrix = state.aux[2 * i], state.aux[2 * i + 1]
             s = entity_matrix.index_select(queries[:, 0])
             r = relation_matrix.index_select(queries[:, 1])
-            per_length_scores.append(self.decoder(s, r, entity_matrix) * mix[i])
-        total = per_length_scores[0]
-        for extra in per_length_scores[1:]:
-            total = total + extra
+            scores = self.decoder(s, r, entity_matrix) * mix[i]
+            total = scores if total is None else total + scores
         return total

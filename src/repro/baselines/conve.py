@@ -16,11 +16,14 @@ from repro.nn import functional as F
 from repro.nn.tensor import Tensor, concat
 from repro.baselines.base import TKGBaseline
 from repro.core.decoder import ConvTransEDecoder
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 
 
 class ConvE(TKGBaseline):
     """2-D convolution over reshaped (s, r) embedding images."""
+
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -45,20 +48,25 @@ class ConvE(TKGBaseline):
         self.project = Linear(conv_out, dim)
         self.dropout = Dropout(dropout)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        return self._make_state(window, self.entity.all(), self.relation.all())
+
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
         n = len(queries)
-        s = self.entity(queries[:, 0]).reshape(n, 1, self.height, self.width)
-        r = self.relation(queries[:, 1]).reshape(n, 1, self.height, self.width)
+        s = state.entity_matrix.index_select(queries[:, 0]).reshape(n, 1, self.height, self.width)
+        r = state.relation_matrix.index_select(queries[:, 1]).reshape(n, 1, self.height, self.width)
         image = concat([s, r], axis=2)  # (n, 1, 2h, w)
         x = F.relu(self.conv(image))
         x = self.dropout(x.reshape(n, -1))
         x = F.relu(self.project(x))
-        return x @ self.entity.all().T
+        return x @ state.entity_matrix.T
 
 
 class ConvTransEModel(TKGBaseline):
     """Standalone ConvTransE: the HisRES decoder on static embeddings."""
+
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -75,8 +83,11 @@ class ConvTransEModel(TKGBaseline):
         self.relation = Embedding(2 * num_relations, dim)
         self.decoder = ConvTransEDecoder(dim, channels=channels, kernel_size=kernel_size, dropout=dropout)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        return self._make_state(window, self.entity.all(), self.relation.all())
+
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        s = self.entity(queries[:, 0])
-        r = self.relation(queries[:, 1])
-        return self.decoder(s, r, self.entity.all())
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.decoder(s, r, state.entity_matrix)

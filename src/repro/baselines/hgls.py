@@ -24,13 +24,21 @@ from repro.nn.tensor import Tensor
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 
 
 class HGLS(TKGBaseline):
-    """Short-term recurrent encoder + long-term same-entity memory."""
+    """Short-term recurrent encoder + long-term same-entity memory.
+
+    Note: :meth:`encode` is split (state = fused matrices) but also
+    *observes* the newest snapshot into the long-term memory — a cache
+    hit skips the observation, which is correct: the memory only wants
+    each snapshot absorbed once per chronological walk.
+    """
 
     requirements = ModelRequirements(recent_snapshots=True)
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -89,7 +97,7 @@ class HGLS(TKGBaseline):
                     self._memory[node] = blended
                     self._memory_seen[node] = True
 
-    def _encode(self, window: HistoryWindow):
+    def encode(self, window: HistoryWindow) -> EncoderState:
         # lazily absorb the newest snapshot into the long-term memory
         if window.snapshots:
             newest = window.snapshots[-1]
@@ -103,23 +111,25 @@ class HGLS(TKGBaseline):
         long_term = Tensor(self._memory)
         gate = self.fuse_gate(e_short).sigmoid()
         fused = gate * e_short + (1.0 - gate) * long_term
-        return fused, relation_matrix
+        return self._make_state(window, fused, relation_matrix)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        return self.entity_decoder(s, r, entity_matrix)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder(s, r, state.entity_matrix)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        o = state.entity_matrix.index_select(queries[:, 2])
+        return self.relation_decoder(s, o, state.relation_matrix)
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        o = entity_matrix.index_select(queries[:, 2])
-        entity_logits = self.entity_decoder(s, r, entity_matrix)
-        relation_logits = self.relation_decoder(s, o, relation_matrix)
+        state = self.encode(window)
+        entity_logits = self.decode(state, queries)
+        relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(
             relation_logits, queries[:, 1]
         ) * (1.0 - self.alpha)

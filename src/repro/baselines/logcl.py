@@ -23,6 +23,7 @@ from repro.nn.tensor import Tensor, concat
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
@@ -63,6 +64,7 @@ class LogCL(TKGBaseline):
     """Local-global fusion with a contrastive alignment term."""
 
     requirements = ModelRequirements(recent_snapshots=True, global_graph=True)
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -97,7 +99,8 @@ class LogCL(TKGBaseline):
         self.relation_decoder = ConvTransEDecoder(dim, channels=channels, kernel_size=kernel_size, dropout=dropout)
 
     # ------------------------------------------------------------------
-    def _encode(self, window: HistoryWindow):
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        """Both views; fused is the main matrix, (local, global) ride in aux."""
         e_local, _, relation_matrix = self.local_encoder(
             self.entity.all(), self.relation.all(), window.snapshots, [], window.deltas
         )
@@ -106,14 +109,19 @@ class LogCL(TKGBaseline):
             for layer in self.global_layers:
                 e_global = layer(e_global, relation_matrix, window.global_graph)
         fused = (e_local + e_global) * 0.5
-        return fused, e_local, e_global, relation_matrix
+        return self._make_state(window, fused, relation_matrix, aux=(e_local, e_global))
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        fused, _, _, relation_matrix = self._encode(window)
-        s = fused.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        return self.entity_decoder(s, r, fused)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder(s, r, state.entity_matrix)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        o = state.entity_matrix.index_select(queries[:, 2])
+        return self.relation_decoder(s, o, state.relation_matrix)
 
     def _contrastive(self, e_local: Tensor, e_global: Tensor, nodes: np.ndarray) -> Tensor:
         """InfoNCE between each node's local and global views."""
@@ -130,12 +138,10 @@ class LogCL(TKGBaseline):
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        fused, e_local, e_global, relation_matrix = self._encode(window)
-        s = fused.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        o = fused.index_select(queries[:, 2])
-        entity_logits = self.entity_decoder(s, r, fused)
-        relation_logits = self.relation_decoder(s, o, relation_matrix)
+        state = self.encode(window)
+        e_local, e_global = state.aux
+        entity_logits = self.decode(state, queries)
+        relation_logits = self.decode_relations(state, queries)
         total = cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(
             relation_logits, queries[:, 1]
         ) * (1.0 - self.alpha)

@@ -20,6 +20,7 @@ from repro.nn.tensor import Tensor
 from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 
 
@@ -27,6 +28,7 @@ class REGCN(TKGBaseline):
     """Recurrent evolutional GCN with ConvTransE decoding."""
 
     requirements = ModelRequirements(recent_snapshots=True)
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -55,27 +57,29 @@ class REGCN(TKGBaseline):
         self.entity_decoder = ConvTransEDecoder(dim, channels=channels, kernel_size=kernel_size, dropout=dropout)
         self.relation_decoder = ConvTransEDecoder(dim, channels=channels, kernel_size=kernel_size, dropout=dropout)
 
-    def _encode(self, window: HistoryWindow):
+    def encode(self, window: HistoryWindow) -> EncoderState:
         e, _, r = self.encoder(
             self.entity.all(), self.relation.all(), window.snapshots, [], window.deltas
         )
-        return e, r
+        return self._make_state(window, e, r)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        return self.entity_decoder(s, r, entity_matrix)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder(s, r, state.entity_matrix)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        o = state.entity_matrix.index_select(queries[:, 2])
+        return self.relation_decoder(s, o, state.relation_matrix)
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        o = entity_matrix.index_select(queries[:, 2])
-        entity_logits = self.entity_decoder(s, r, entity_matrix)
-        relation_logits = self.relation_decoder(s, o, relation_matrix)
+        state = self.encode(window)
+        entity_logits = self.decode(state, queries)
+        relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(
             relation_logits, queries[:, 1]
         ) * (1.0 - self.alpha)

@@ -17,6 +17,7 @@ from repro.nn import functional as F
 from repro.nn.segment import segment_sum
 from repro.nn.tensor import Tensor, concat
 from repro.baselines.base import ModelRequirements, TKGBaseline
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 from repro.graphs.compiled import compiled
 from repro.graphs.snapshot import SnapshotGraph
@@ -26,6 +27,7 @@ class RENet(TKGBaseline):
     """Mean-aggregator + GRU temporal encoder with an MLP decoder."""
 
     requirements = ModelRequirements(recent_snapshots=True)
+    supports_encode_split = True
 
     def __init__(self, num_entities: int, num_relations: int, dim: int = 32, dropout: float = 0.1):
         super().__init__(num_entities, num_relations)
@@ -49,14 +51,18 @@ class RENet(TKGBaseline):
         pooled = segment_sum(messages * norm, plan.dst_layout)
         return F.tanh(pooled)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
-        queries = np.asarray(queries, dtype=np.int64)
+    def encode(self, window: HistoryWindow) -> EncoderState:
         state = self.entity.all()
         for graph in window.snapshots:
             aggregated = self._aggregate(state, graph)
             state = self.gru(aggregated, state)
-        s = state.index_select(queries[:, 0])
+        return self._make_state(window, state, None)
+
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        entity_matrix = state.entity_matrix
+        s = entity_matrix.index_select(queries[:, 0])
         r = self.relation(queries[:, 1])
         query_vec = F.relu(self.decoder(concat([s, r, s * r], axis=1)))
         query_vec = self.dropout(query_vec)
-        return query_vec @ state.T
+        return query_vec @ entity_matrix.T

@@ -22,6 +22,7 @@ from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.compgcn import CompGCNStack
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import l2_normalize_rows
+from repro.core.execution import EncoderState
 from repro.core.window import HistoryWindow
 from repro.graphs.line_graph import build_line_graph
 from repro.graphs.snapshot import SnapshotGraph
@@ -31,6 +32,7 @@ class RETIA(TKGBaseline):
     """Twin entity/relation aggregation over snapshot + line graphs."""
 
     requirements = ModelRequirements(recent_snapshots=True)
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -69,7 +71,7 @@ class RETIA(TKGBaseline):
             self._line_cache[key] = cached
         return cached
 
-    def _encode(self, window: HistoryWindow):
+    def encode(self, window: HistoryWindow) -> EncoderState:
         e_state = l2_normalize_rows(self.entity.all())
         r_state = self.relation.all()
         modes = self.mode_embedding.all()
@@ -79,23 +81,25 @@ class RETIA(TKGBaseline):
             r_agg, _ = self.relation_gcn(r_state, modes, line)
             e_state = l2_normalize_rows(self.entity_gru(e_agg, e_state))
             r_state = self.relation_gru(r_agg, r_state)
-        return e_state, r_state
+        return self._make_state(window, e_state, r_state)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        return self.entity_decoder(s, r, entity_matrix)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder(s, r, state.entity_matrix)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        o = state.entity_matrix.index_select(queries[:, 2])
+        return self.relation_decoder(s, o, state.relation_matrix)
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        o = entity_matrix.index_select(queries[:, 2])
-        entity_logits = self.entity_decoder(s, r, entity_matrix)
-        relation_logits = self.relation_decoder(s, o, relation_matrix)
+        state = self.encode(window)
+        entity_logits = self.decode(state, queries)
+        relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(
             relation_logits, queries[:, 1]
         ) * (1.0 - self.alpha)

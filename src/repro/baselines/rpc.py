@@ -27,6 +27,7 @@ from repro.baselines.base import ModelRequirements, TKGBaseline
 from repro.core.compgcn import CompGCNStack
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import l2_normalize_rows
+from repro.core.execution import EncoderState
 from repro.core.time_encoding import TimeEncoding
 from repro.core.window import HistoryWindow
 from repro.graphs.line_graph import build_line_graph
@@ -37,6 +38,7 @@ class RPC(TKGBaseline):
     """Relational + periodic correspondence units over recent snapshots."""
 
     requirements = ModelRequirements(recent_snapshots=True)
+    supports_encode_split = True
 
     def __init__(
         self,
@@ -75,7 +77,7 @@ class RPC(TKGBaseline):
             self._line_cache[key] = cached
         return cached
 
-    def _encode(self, window: HistoryWindow):
+    def encode(self, window: HistoryWindow) -> EncoderState:
         e_state = l2_normalize_rows(self.entity.all())
         r_state = self.relation.all()
         modes = self.mode_embedding.all()
@@ -87,29 +89,31 @@ class RPC(TKGBaseline):
             e_state = l2_normalize_rows(self.entity_gru(e_agg, conditioned))
             states.append(e_state)
         if not states:
-            return e_state, r_state
+            return self._make_state(window, e_state, r_state)
         # learned snapshot-importance weighting over the window
         weights = F.softmax(self.snapshot_weights[: len(states)], axis=0)
         combined = states[0] * weights[0]
         for i, state in enumerate(states[1:], start=1):
             combined = combined + state * weights[i]
-        return combined, r_state
+        return self._make_state(window, combined, r_state)
 
-    def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        return self.entity_decoder(s, r, entity_matrix)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder(s, r, state.entity_matrix)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        queries = np.asarray(queries, dtype=np.int64)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        o = state.entity_matrix.index_select(queries[:, 2])
+        return self.relation_decoder(s, o, state.relation_matrix)
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self._encode(window)
-        s = entity_matrix.index_select(queries[:, 0])
-        r = relation_matrix.index_select(queries[:, 1])
-        o = entity_matrix.index_select(queries[:, 2])
-        entity_logits = self.entity_decoder(s, r, entity_matrix)
-        relation_logits = self.relation_decoder(s, o, relation_matrix)
+        state = self.encode(window)
+        entity_logits = self.decode(state, queries)
+        relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(
             relation_logits, queries[:, 1]
         ) * (1.0 - self.alpha)

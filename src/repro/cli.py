@@ -119,9 +119,9 @@ def cmd_train(args) -> int:
 def cmd_eval(args) -> int:
     """Evaluate a checkpointed model on a dataset split (no training)."""
     from repro.baselines import build_model
-    from repro.core.window import WindowBuilder
+    from repro.core.config import WindowConfig
     from repro.nn.serialization import read_checkpoint_metadata, load_checkpoint
-    from repro.training import Evaluator
+    from repro.training import TimelineEvaluator
 
     dataset = _load_dataset(args)
     meta = read_checkpoint_metadata(args.load_checkpoint)
@@ -137,15 +137,10 @@ def cmd_eval(args) -> int:
     load_checkpoint(model, args.load_checkpoint)
     model.eval()
     window = meta.get("window") or {}
-    builder = WindowBuilder(
-        dataset.num_entities,
-        dataset.num_relations,
-        history_length=int(window.get("history_length", args.history_length)),
-        granularity=int(window.get("granularity", 2)),
-        use_global=bool(window.get("use_global", True)),
-        track_vocabulary=bool(window.get("track_vocabulary", False)),
-    )
-    evaluator = Evaluator(dataset)
+    overrides = {} if "history_length" in window else {"history_length": args.history_length}
+    window_config = WindowConfig.from_dict(window, **overrides)
+    builder = window_config.build(dataset.num_entities, dataset.num_relations)
+    evaluator = TimelineEvaluator(dataset)
     if args.split == "test":
         warmup, split = (dataset.train, dataset.valid), dataset.test
     else:
@@ -167,7 +162,7 @@ def cmd_eval(args) -> int:
             kind="eval",
             model=str(meta["model"]),
             dataset=dataset.name,
-            config={"split": args.split, "history_length": int(window.get("history_length", args.history_length))},
+            config={"split": args.split, "history_length": window_config.history_length},
             metrics={k: payload[k] for k in ("mrr", "hits@1", "hits@3", "hits@10")},
             extra={"checkpoint": args.load_checkpoint},
         )
@@ -184,6 +179,7 @@ def _build_engine(args):
         args.checkpoint,
         cache_entries=args.cache_entries,
         batch_window_s=args.batch_window_ms / 1e3,
+        state_cache_entries=args.state_cache_entries,
     )
     if args.warmup:
         if args.warmup.endswith(".tsv"):
@@ -314,9 +310,7 @@ def cmd_forecast(args) -> int:
     trainer.fit(epochs=args.epochs, patience=args.patience)
     forecaster = Forecaster(
         model, dataset.num_entities, dataset.num_relations,
-        history_length=args.history_length,
-        use_global=spec.requirements.global_graph or args.model == "hisres",
-        track_vocabulary=spec.requirements.vocabulary,
+        window_config=trainer.window_config,
     )
     forecaster.warm_up(dataset.train)
     forecaster.warm_up(dataset.valid)
@@ -571,6 +565,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup-splits", default="train,valid",
                    help="comma-separated splits to replay (default: train,valid)")
     p.add_argument("--cache-entries", type=int, default=4096)
+    p.add_argument("--state-cache-entries", type=int, default=8,
+                   help="encoder-state LRU capacity beneath the prediction cache (0 disables)")
     p.add_argument("--batch-window-ms", type=float, default=2.0,
                    help="micro-batch coalescing window (0 disables the wait)")
     p.add_argument("--verbose", action="store_true", help="log every request")
@@ -598,6 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offline mode: profile/.tsv history to replay")
     p.add_argument("--warmup-splits", default="train,valid")
     p.add_argument("--cache-entries", type=int, default=4096)
+    p.add_argument("--state-cache-entries", type=int, default=8,
+                   help="encoder-state LRU capacity beneath the prediction cache (0 disables)")
     p.add_argument("--batch-window-ms", type=float, default=0.0)
     p.add_argument("--top-k", type=int, default=10)
     p.add_argument("--inverse", action="store_true",

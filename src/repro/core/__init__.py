@@ -1,6 +1,7 @@
 """The HisRES model (paper §3) and its building blocks."""
 
-from repro.core.config import HisRESConfig
+from repro.core.config import HisRESConfig, WindowConfig
+from repro.core.execution import EncoderState, EncoderStateCache, ExecutionPlan
 from repro.core.time_encoding import TimeEncoding
 from repro.core.compgcn import CompGCNLayer, CompGCNStack
 from repro.core.convgat import ConvGATLayer
@@ -14,6 +15,10 @@ from repro.core.forecaster import Forecaster, Prediction
 
 __all__ = [
     "HisRESConfig",
+    "WindowConfig",
+    "EncoderState",
+    "EncoderStateCache",
+    "ExecutionPlan",
     "TimeEncoding",
     "CompGCNLayer",
     "CompGCNStack",

@@ -1,9 +1,65 @@
-"""Configuration for HisRES, including every ablation switch of Table 4."""
+"""Configuration for HisRES, including every ablation switch of Table 4,
+plus the shared :class:`WindowConfig` every window-consuming entry point
+(trainer, forecaster, serving engine, CLI) builds its
+:class:`repro.core.window.WindowBuilder` from."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """How history windows are assembled — one definition for all layers.
+
+    Previously the trainer, forecaster, serving store/engine, and CLI
+    each hardcoded their own (history_length, granularity, use_global)
+    tuple; this dataclass is the single source of truth, serialised
+    into checkpoint metadata (:meth:`to_dict`) and rebuilt on load
+    (:meth:`from_dict`).
+    """
+
+    history_length: int = 2
+    granularity: int = 2
+    use_global: bool = True
+    track_vocabulary: bool = False
+    global_max_history: Optional[int] = None
+
+    def __post_init__(self):
+        if self.history_length < 1:
+            raise ValueError("history_length must be >= 1")
+        if self.granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        if self.global_max_history is not None and self.global_max_history < 1:
+            raise ValueError("global_max_history must be >= 1 or None")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for checkpoint metadata."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]] = None, **overrides) -> "WindowConfig":
+        """Build from checkpoint metadata; unknown keys are ignored so
+        old checkpoints (and newer writers) stay loadable."""
+        merged = dict(data or {})
+        merged.update(overrides)
+        names = {f for f in cls.__dataclass_fields__}  # noqa: C401
+        return cls(**{k: v for k, v in merged.items() if k in names})
+
+    def build(self, num_entities: int, num_relations: int):
+        """Construct the :class:`WindowBuilder` this config describes."""
+        from repro.core.window import WindowBuilder
+
+        return WindowBuilder(
+            num_entities,
+            num_relations,
+            history_length=self.history_length,
+            granularity=self.granularity,
+            use_global=self.use_global,
+            global_max_history=self.global_max_history,
+            track_vocabulary=self.track_vocabulary,
+        )
 
 
 @dataclass

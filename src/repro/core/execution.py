@@ -1,0 +1,299 @@
+"""Encode-once execution plane: split encode/decode with cached states.
+
+HisRES (like RE-GCN and HiSMatch) is an encoder–decoder model: the
+expensive part is the multi-granularity evolution + global relevance
+encode, while decoding a ``(s, r)`` query against the encoded entity
+matrix is cheap.  This module makes that split an explicit, shared
+contract instead of a private detail of each model:
+
+- :class:`EncoderState` — frozen result of ``model.encode(window)``:
+  the evolved entity/relation matrices plus the window fingerprint,
+  model version, and dtype they were computed under.  Models that
+  genuinely cannot split (per-query vocabulary masks, per-query
+  subgraph expansion) return a *fused* state that simply carries the
+  window; their decode runs the original fused path and their states
+  are never cached.
+- :class:`EncoderStateCache` — LRU over encoder states, keyed on the
+  window content fingerprint + model version + dtype, with hit/miss/
+  evict counters on the :mod:`repro.obs` registry and a span around
+  every live encode.
+- :class:`ExecutionPlan` — the one code path that turns a window into
+  scores.  The evaluator, forecaster, serving engine, and trainer all
+  go through a plan; training losses still encode live under grad,
+  while every no-grad consumer decodes from (possibly cached) states.
+
+See ``docs/execution_plane.md`` for the cache-keying rules, in
+particular why the globally relevant graph makes the fingerprint
+query-set-dependent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.window import HistoryWindow
+from repro.nn.tensor import Tensor, get_default_dtype
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+
+
+@dataclass(frozen=True, eq=False)
+class EncoderState:
+    """Frozen output of one ``model.encode(window)`` call.
+
+    Attributes:
+        entity_matrix: evolved entity embeddings (None for fused states
+            and models whose state lives entirely in ``aux``).
+        relation_matrix: evolved relation embeddings (or None).
+        aux: model-specific extra tensors (e.g. CEN's per-length
+            matrices, ComplEx's real/imaginary tables).
+        fingerprint: content fingerprint of the window this state was
+            encoded from (filled in by the cache layer; None for states
+            produced outside a cache).
+        model_version: :attr:`repro.nn.module.Module.version` at encode
+            time.
+        dtype: engine default dtype at encode time.
+        prediction_time: the window's prediction timestamp.
+        window: the originating window — kept **only** for fused states,
+            whose decode still consumes query-dependent window inputs.
+        fused: True when the model could not split and decode will
+            re-run the fused path.
+    """
+
+    entity_matrix: Optional[Tensor]
+    relation_matrix: Optional[Tensor]
+    aux: Tuple[Tensor, ...] = ()
+    fingerprint: Optional[Hashable] = None
+    model_version: int = 0
+    dtype: str = "float64"
+    prediction_time: int = 0
+    window: Optional[HistoryWindow] = None
+    fused: bool = False
+
+    @property
+    def cacheable(self) -> bool:
+        """Fused states carry per-query window inputs; never cache them."""
+        return not self.fused
+
+
+def make_state(
+    model,
+    window: HistoryWindow,
+    entity_matrix: Optional[Tensor],
+    relation_matrix: Optional[Tensor],
+    aux: Tuple[Tensor, ...] = (),
+) -> EncoderState:
+    """Build a split-model state, stamping model version and dtype."""
+    return EncoderState(
+        entity_matrix=entity_matrix,
+        relation_matrix=relation_matrix,
+        aux=tuple(aux),
+        model_version=getattr(model, "version", 0),
+        dtype=str(get_default_dtype()),
+        prediction_time=int(window.prediction_time),
+    )
+
+
+def make_fused_state(model, window: HistoryWindow) -> EncoderState:
+    """Fallback shim for models that cannot split encode from decode."""
+    return EncoderState(
+        entity_matrix=None,
+        relation_matrix=None,
+        model_version=getattr(model, "version", 0),
+        dtype=str(get_default_dtype()),
+        prediction_time=int(window.prediction_time),
+        window=window,
+        fused=True,
+    )
+
+
+class EncoderStateCache:
+    """Thread-safe LRU over :class:`EncoderState` instances.
+
+    Keys are ``(model_key, model_version, dtype, window fingerprint)``:
+    a weight update, a dtype switch, or any change to the window
+    content each make earlier entries unreachable.  Counters live on
+    the process-wide :mod:`repro.obs` registry (scraped by the serving
+    ``/metrics`` endpoint) *and* as plain per-instance integers for
+    ``stats()``.
+    """
+
+    def __init__(self, capacity: int = 16, owner: str = "plan"):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self.owner = owner
+        self._data: "OrderedDict[Hashable, EncoderState]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        family = get_registry().counter(
+            "repro_encoder_state_cache_events_total",
+            "Encoder-state cache hits/misses/evictions per owner.",
+            labelnames=("owner", "event"),
+        )
+        self._counters = {
+            event: family.labels(owner=owner, event=event)
+            for event in ("hit", "miss", "evict")
+        }
+        self._gauge_entries = get_registry().gauge(
+            "repro_encoder_state_cache_entries",
+            "Live entries in the encoder-state cache.",
+            labelnames=("owner",),
+        ).labels(owner=owner)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    # ------------------------------------------------------------------
+    def _key(self, model, model_key: str, fingerprint: Hashable) -> Hashable:
+        return (model_key, getattr(model, "version", 0), str(get_default_dtype()), fingerprint)
+
+    def get_or_encode(self, model, window: HistoryWindow, model_key: str = "model") -> EncoderState:
+        """Return the cached state for ``window`` or run one live encode.
+
+        The live encode runs under the model's inference mode (eval +
+        no-grad): cached states must never carry training-mode dropout
+        noise or autograd graphs.  Training losses never come through
+        here — they encode live under grad inside ``model.loss``.
+        """
+        fingerprint = window.fingerprint()
+        key = self._key(model, model_key, fingerprint)
+        with self._lock:
+            state = self._data.get(key)
+            if state is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+        if state is not None:
+            self._counters["hit"].inc()
+            return state
+        self.misses += 1
+        self._counters["miss"].inc()
+        with span("encoder.encode", owner=self.owner):
+            with _inference(model):
+                state = model.encode(window)
+        state = replace(state, fingerprint=fingerprint)
+        if state.cacheable and self.capacity > 0:
+            with self._lock:
+                self._data[key] = state
+                while len(self._data) > self.capacity:
+                    self._data.popitem(last=False)
+                    self.evictions += 1
+                    self._counters["evict"].inc()
+                self._gauge_entries.set(len(self._data))
+        return state
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._gauge_entries.set(0)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            size = len(self._data)
+        return {
+            "entries": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def _inference(model):
+    """The model's inference_mode, or plain no-grad for duck-typed models."""
+    mode = getattr(model, "inference_mode", None)
+    if mode is not None:
+        return mode()
+    from repro.nn.tensor import no_grad
+
+    return no_grad()
+
+
+class ExecutionPlan:
+    """The single window -> scores code path shared by every consumer.
+
+    Args:
+        model: anything implementing the encode/decode protocol
+            (:class:`repro.core.hisres.HisRES`, every
+            :class:`repro.baselines.base.TKGBaseline`), or — as a
+            legacy escape hatch — any object with ``predict_entities``.
+        cache: optional :class:`EncoderStateCache`; None always
+            encodes live (the pre-refactor fused behaviour).
+        model_key: cache-key namespace (registry key in serving).
+    """
+
+    def __init__(self, model, cache: Optional[EncoderStateCache] = None, model_key: Optional[str] = None):
+        self.model = model
+        self.cache = cache
+        self.model_key = model_key or type(model).__name__.lower()
+
+    @property
+    def supports_split(self) -> bool:
+        return bool(getattr(self.model, "supports_encode_split", False)) and hasattr(
+            self.model, "encode"
+        )
+
+    # ------------------------------------------------------------------
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        """Encode ``window`` through the cache (eval + no-grad)."""
+        if self.cache is not None and self.supports_split:
+            return self.cache.get_or_encode(self.model, window, model_key=self.model_key)
+        with span("encoder.encode", owner=self.model_key):
+            with _inference(self.model):
+                return self.model.encode(window)
+
+    def entity_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        """Entity score matrix (n, |E|) as a plain array."""
+        if not hasattr(self.model, "encode"):  # legacy duck-typed models
+            return np.asarray(self.model.predict_entities(window, queries))
+        state = self.encode(window)
+        with _inference(self.model):
+            return self.model.decode(state, queries).data
+
+    def relation_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        """Relation score matrix (n, 2|R|) for joint models."""
+        state = self.encode(window)
+        with _inference(self.model):
+            logits = self.model.decode_relations(state, queries)
+        if logits is None:
+            raise TypeError(
+                f"{type(self.model).__name__} has no relation decoder; "
+                "relation ranking needs a joint model (e.g. HisRES, RE-GCN)"
+            )
+        return logits.data
+
+    def entity_and_relation_scores(
+        self, window: HistoryWindow, queries: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Both rankings from ONE encoder state (the evaluator hot path)."""
+        state = self.encode(window)
+        with _inference(self.model):
+            entity = self.model.decode(state, queries).data
+            relation_logits = self.model.decode_relations(state, queries)
+            relation = None if relation_logits is None else relation_logits.data
+        return entity, relation
+
+    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        """Training objective — encodes live under grad (truncated-BPTT-safe)."""
+        return self.model.loss(window, queries)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "model_key": self.model_key,
+            "supports_split": self.supports_split,
+            "state_cache": None if self.cache is None else self.cache.stats(),
+        }

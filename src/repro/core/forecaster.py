@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.config import WindowConfig
+from repro.core.execution import EncoderStateCache, ExecutionPlan
 from repro.core.window import WindowBuilder
 from repro.data.dataset import SplitView
 from repro.nn.serialization import load_checkpoint, save_checkpoint
@@ -37,10 +39,14 @@ class Forecaster:
     """Stateful wrapper for step-ahead TKG prediction.
 
     Args:
-        model: any model exposing ``predict_entities(window, queries)``.
+        model: any model speaking the encode/decode protocol (or
+            exposing ``predict_entities(window, queries)``).
         num_entities / num_relations: vocabulary sizes (base relations).
-        history_length, granularity: window parameters (match training).
-        use_global / track_vocabulary: window features the model needs.
+        window_config: how windows are assembled (must match training);
+            the individual keyword arguments below are legacy aliases
+            used only when ``window_config`` is None.
+        state_cache_entries: capacity of the encoder-state cache used
+            by :meth:`predict_batch` (0 disables it).
     """
 
     def __init__(
@@ -48,24 +54,33 @@ class Forecaster:
         model,
         num_entities: int,
         num_relations: int,
+        window_config: Optional[WindowConfig] = None,
         history_length: int = 2,
         granularity: int = 2,
         use_global: bool = True,
         track_vocabulary: bool = False,
         global_max_history: Optional[int] = None,
+        state_cache_entries: int = 8,
     ):
         self.model = model
         self.num_entities = num_entities
         self.num_relations = num_relations
-        self._builder = WindowBuilder(
-            num_entities,
-            num_relations,
-            history_length=history_length,
-            granularity=granularity,
-            use_global=use_global,
-            track_vocabulary=track_vocabulary,
-            global_max_history=global_max_history,
+        if window_config is None:
+            window_config = WindowConfig(
+                history_length=history_length,
+                granularity=granularity,
+                use_global=use_global,
+                track_vocabulary=track_vocabulary,
+                global_max_history=global_max_history,
+            )
+        self.window_config = window_config
+        self._builder = window_config.build(num_entities, num_relations)
+        cache = (
+            EncoderStateCache(capacity=state_cache_entries, owner="forecaster")
+            if state_cache_entries
+            else None
         )
+        self.plan = ExecutionPlan(model, cache=cache)
         self._now: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -134,7 +149,7 @@ class Forecaster:
         if prediction_time is None:
             prediction_time = (self._now + 1) if self._now is not None else 0
         window = self._builder.window_for(queries, prediction_time=int(prediction_time))
-        return self.model.predict_entities(window, queries)
+        return self.plan.entity_scores(window, queries)
 
     def predict(
         self,
@@ -162,6 +177,7 @@ class Forecaster:
         meta = dict(metadata or {})
         meta.setdefault("num_entities", self.num_entities)
         meta.setdefault("num_relations", self.num_relations)
+        meta.setdefault("window", self.window_config.to_dict())
         save_checkpoint(self.model, path, metadata=meta)
 
     def load(self, path: str) -> Dict:

@@ -25,6 +25,7 @@ from repro.nn.tensor import Tensor
 from repro.core.config import HisRESConfig
 from repro.core.decoder import ConvTransEDecoder
 from repro.core.evolution import MultiGranularityEvolutionaryEncoder
+from repro.core.execution import EncoderState, make_state
 from repro.core.gating import SelfGating
 from repro.core.relevance import GlobalRelevanceEncoder
 from repro.core.window import HistoryWindow
@@ -39,6 +40,8 @@ class HisRES(Module):
             the doubled space for inverse relations.
         config: hyper-parameters and ablation switches.
     """
+
+    supports_encode_split = True
 
     def __init__(self, num_entities: int, num_relations: int, config: Optional[HisRESConfig] = None):
         super().__init__()
@@ -78,8 +81,8 @@ class HisRES(Module):
         )
 
     # ------------------------------------------------------------------
-    def encode(self, window: HistoryWindow) -> Tuple[Tensor, Tensor]:
-        """Run both encoders; return (E^phi_t, R_t)."""
+    def encode(self, window: HistoryWindow) -> EncoderState:
+        """Run both encoders; state holds (E^phi_t, R_t)."""
         cfg = self.config
         e_init = self.entity_embedding.all()
         r_init = self.relation_embedding.all()
@@ -100,7 +103,21 @@ class HisRES(Module):
             e_final = self.global_gate(e_global, e_local)  # Eq. 13
         else:
             e_final = e_local
-        return e_final, r_out
+        return make_state(self, window, e_final, r_out)
+
+    def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        """Entity logits (n, |E|) from an encoded state (Eq. 12)."""
+        queries = np.asarray(queries, dtype=np.int64)
+        subj = state.entity_matrix.index_select(queries[:, 0])
+        rel = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder(subj, rel, state.entity_matrix)
+
+    def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        """Relation logits (n, 2|R|) from the same encoded state."""
+        queries = np.asarray(queries, dtype=np.int64)
+        subj = state.entity_matrix.index_select(queries[:, 0])
+        obj = state.entity_matrix.index_select(queries[:, 2])
+        return self.relation_decoder(subj, obj, state.relation_matrix)
 
     # ------------------------------------------------------------------
     def forward(
@@ -118,13 +135,8 @@ class HisRES(Module):
             (entity_logits (n, |E|), relation_logits (n, 2|R|)).
         """
         queries = np.asarray(queries, dtype=np.int64)
-        entity_matrix, relation_matrix = self.encode(window)
-        subj = entity_matrix.index_select(queries[:, 0])
-        rel = relation_matrix.index_select(queries[:, 1])
-        obj = entity_matrix.index_select(queries[:, 2])
-        entity_logits = self.entity_decoder(subj, rel, entity_matrix)
-        relation_logits = self.relation_decoder(subj, obj, relation_matrix)
-        return entity_logits, relation_logits
+        state = self.encode(window)
+        return self.decode(state, queries), self.decode_relations(state, queries)
 
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         """Joint learning objective (Eq. 15)."""
@@ -137,12 +149,5 @@ class HisRES(Module):
 
     def predict_entities(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
         """Entity scores as a plain array (evaluation helper)."""
-        from repro.nn.tensor import no_grad
-
-        was_training = self.training
-        self.eval()
-        with no_grad():
-            entity_logits, _ = self.forward(window, queries)
-        if was_training:
-            self.train()
-        return entity_logits.data
+        with self.inference_mode():
+            return self.decode(self.encode(window), queries).data

@@ -76,6 +76,36 @@ class HistoryWindow:
     prediction_time: int
     history_masks: Optional[np.ndarray] = None
     history_counts: Optional[np.ndarray] = None
+    _fingerprint: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    def fingerprint(self) -> tuple:
+        """Content key over everything an encoder can read from the window.
+
+        Two windows with the same fingerprint produce bitwise-identical
+        encoder states (in eval mode), so the execution plane uses it —
+        together with the model version and dtype — to key the
+        :class:`~repro.core.execution.EncoderStateCache`.
+
+        The globally relevant graph G^H_t is built from the *query
+        pairs*, so windows assembled for different query sets generally
+        fingerprint differently — unless their G^H content coincides
+        (e.g. pairs with no indexed history yield the same empty
+        graph), which is exactly when sharing an encode is sound.
+        History masks/counts are per-query decode inputs consumed only
+        by fused (vocabulary) models, whose states bypass the cache, so
+        they are deliberately excluded.  Memoized per window instance;
+        the per-graph content fingerprints are memoized per graph, so
+        replayed timelines (which reuse cached graph instances) pay the
+        hashing once.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = (
+                tuple(g.content_fingerprint() for g in self.snapshots),
+                tuple(g.content_fingerprint() for g in self.merged),
+                tuple(float(d) for d in self.deltas),
+                None if self.global_graph is None else self.global_graph.content_fingerprint(),
+            )
+        return self._fingerprint
 
 
 class WindowBuilder:

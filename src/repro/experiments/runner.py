@@ -154,12 +154,7 @@ def run_model_on_dataset(
             "num_entities": dataset.num_entities,
             "num_relations": dataset.num_relations,
             "dim": config.dim,
-            "window": {
-                "history_length": history_length,
-                "granularity": config.granularity,
-                "use_global": use_global,
-                "track_vocabulary": bool(spec.requirements.vocabulary),
-            },
+            "window": trainer.window_config.to_dict(),
             "train_config": {
                 "learning_rate": config.learning_rate,
                 "epochs": config.epochs,

@@ -44,6 +44,7 @@ class SnapshotGraph:
         self._in_degree_norm: Optional[np.ndarray] = None
         self._active_nodes: Optional[np.ndarray] = None
         self._compiled = None  # filled by repro.graphs.compiled.compiled
+        self._content_fp = None  # filled by content_fingerprint()
 
     @property
     def num_edges(self) -> int:
@@ -72,6 +73,25 @@ class SnapshotGraph:
     def triples(self) -> np.ndarray:
         """(num_edges, 3) array of (src, rel, dst)."""
         return np.stack([self.src, self.rel, self.dst], axis=1)
+
+    def content_fingerprint(self) -> tuple:
+        """Cheap content key over the edge set; memoized.
+
+        Two graphs with the same edges (in the same order) over the
+        same entity/relation spaces fingerprint identically, regardless
+        of which builder instance materialised them.  Used by the
+        execution plane to key cached encoder states on window content.
+        """
+        if self._content_fp is None:
+            self._content_fp = (
+                self.num_entities,
+                self.num_relations,
+                self.num_edges,
+                hash(np.ascontiguousarray(self.src).tobytes()),
+                hash(np.ascontiguousarray(self.rel).tobytes()),
+                hash(np.ascontiguousarray(self.dst).tobytes()),
+            )
+        return self._content_fp
 
 
 def build_snapshot(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -71,6 +72,45 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
+    @contextlib.contextmanager
+    def inference_mode(self):
+        """Temporarily switch to eval + no-grad, restoring train state.
+
+        Replaces the ``was_training = self.training; self.eval(); ...``
+        boilerplate every ``predict_entities`` used to carry::
+
+            with model.inference_mode():
+                scores = model.decode(state, queries).data
+        """
+        from repro.nn.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                yield self
+        finally:
+            if was_training:
+                self.train()
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone parameter-state version.
+
+        Bumped whenever the module's weights change wholesale
+        (:meth:`load_state_dict`) or a caller declares an in-place
+        update (:meth:`bump_version` — the Trainer does this once per
+        optimised epoch).  Cached encoder states are keyed on it so
+        they can never outlive the weights they were computed from.
+        """
+        return self.__dict__.get("_version", 0)
+
+    def bump_version(self) -> int:
+        """Declare that parameters changed in place; returns the new version."""
+        self.__dict__["_version"] = self.version + 1
+        return self.version
+
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""
         return sum(p.size for p in self.parameters())
@@ -101,6 +141,7 @@ class Module:
                 param.grad = None
             else:
                 param.data[...] = values
+        self.bump_version()
 
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):

@@ -8,9 +8,15 @@ things a server needs that the offline stack does not have:
   window_version)``; a hit skips the forward pass entirely and the key
   scheme makes every entry self-invalidating on snapshot rollover;
 - a **micro-batcher** — concurrent ``predict`` calls from the threaded
-  HTTP frontend coalesce into *one* ``predict_entities`` forward pass
-  (the per-query cost of a forward pass is dominated by the shared
-  graph encoding, so batching is nearly free throughput).
+  HTTP frontend coalesce into *one* decode pass (the per-query cost is
+  dominated by the shared graph encoding, so batching is nearly free
+  throughput).
+
+Beneath the per-pair prediction cache sits the **encoder-state cache**
+(:class:`repro.core.execution.EncoderStateCache`): a prediction-cache
+miss still reuses the expensive window encode whenever the window
+*content* is unchanged — e.g. distinct cold (s, r) pairs on a quiet
+window share one encoder state and differ only in the cheap decode.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.config import WindowConfig
+from repro.core.execution import EncoderStateCache, ExecutionPlan
 from repro.nn.serialization import load_checkpoint, read_checkpoint_metadata
 from repro.obs.trace import span
 from repro.serving.cache import LRUCache
@@ -114,9 +122,11 @@ class InferenceEngine:
         model: any model exposing ``predict_entities(window, queries)``.
         store: the online history state (shared with ingestion).
         model_key: registry key, used in cache keys and ``/stats``.
-        cache_entries: LRU capacity (0 disables caching).
+        cache_entries: per-pair prediction LRU capacity (0 disables).
         batch_window_s: how long a micro-batch leader waits for
             followers; 0 batches only what is already queued.
+        state_cache_entries: encoder-state cache capacity (0 disables);
+            sits beneath the prediction cache, keyed on window content.
     """
 
     def __init__(
@@ -127,12 +137,19 @@ class InferenceEngine:
         cache_entries: int = 4096,
         batch_window_s: float = 0.002,
         metadata: Optional[Dict] = None,
+        state_cache_entries: int = 8,
     ):
         self.model = model
         self.store = store
         self.model_key = model_key
         self.metadata = dict(metadata or {})
         self.cache = LRUCache(max_entries=cache_entries)
+        self.state_cache = (
+            EncoderStateCache(capacity=state_cache_entries, owner="serving")
+            if state_cache_entries
+            else None
+        )
+        self.plan = ExecutionPlan(model, cache=self.state_cache, model_key=model_key)
         self._batcher = MicroBatcher(self._execute_batch, window_s=batch_window_s)
         self._model_lock = threading.Lock()
         self._predict_calls = 0
@@ -147,6 +164,7 @@ class InferenceEngine:
         path: str,
         cache_entries: int = 4096,
         batch_window_s: float = 0.002,
+        state_cache_entries: int = 8,
         **overrides,
     ) -> "InferenceEngine":
         """Build model + store from a ``repro.cli train --save`` checkpoint.
@@ -176,16 +194,11 @@ class InferenceEngine:
             dim=int(meta.get("dim", 32)),
         )
         load_checkpoint(model, path)
-        window = dict(meta.get("window") or {})
-        window.update(overrides)
+        window_config = WindowConfig.from_dict(meta.get("window"), **overrides)
         store = OnlineHistoryStore(
             int(meta["num_entities"]),
             int(meta["num_relations"]),
-            history_length=int(window.get("history_length", 2)),
-            granularity=int(window.get("granularity", 2)),
-            use_global=bool(window.get("use_global", True)),
-            track_vocabulary=bool(window.get("track_vocabulary", False)),
-            global_max_history=window.get("global_max_history"),
+            window_config=window_config,
         )
         return cls(
             model,
@@ -194,6 +207,7 @@ class InferenceEngine:
             cache_entries=cache_entries,
             batch_window_s=batch_window_s,
             metadata=meta,
+            state_cache_entries=state_cache_entries,
         )
 
     # ------------------------------------------------------------------
@@ -228,7 +242,7 @@ class InferenceEngine:
             with span("engine.predict_batch", batch=len(pairs), misses=len(todo)):
                 with self._model_lock:
                     window = self.store.window_for(queries)
-                    scores = np.asarray(self.model.predict_entities(window, queries))
+                    scores = np.asarray(self.plan.entity_scores(window, queries))
                     self._predict_calls += 1
             for i, pair in enumerate(todo):
                 results[pair] = scores[i]
@@ -310,6 +324,7 @@ class InferenceEngine:
             "queries_served": self._queries_served,
             "predict_calls": self._predict_calls,
             "cache": self.cache.stats(),
+            "state_cache": None if self.state_cache is None else self.state_cache.stats(),
             "batching": self._batcher.stats(),
             "store": self.store.stats(),
         }

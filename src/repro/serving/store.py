@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.config import WindowConfig
 from repro.core.window import HistoryWindow, WindowBuilder
 from repro.data.dataset import SplitView
 from repro.graphs.compiled import compiled_cache_stats
@@ -38,15 +39,16 @@ class OnlineHistoryStore:
 
     Args:
         num_entities / num_relations: vocabulary sizes (base relations).
-        history_length, granularity: window parameters (match training).
-        use_global / track_vocabulary: window features the model needs.
-        global_max_history: optional recency cutoff for the global index.
+        window_config: how windows are assembled (must match training);
+            the keyword arguments below are legacy aliases used only
+            when ``window_config`` is None.
     """
 
     def __init__(
         self,
         num_entities: int,
         num_relations: int,
+        window_config: Optional[WindowConfig] = None,
         history_length: int = 2,
         granularity: int = 2,
         use_global: bool = True,
@@ -55,15 +57,16 @@ class OnlineHistoryStore:
     ):
         self.num_entities = num_entities
         self.num_relations = num_relations
-        self._builder = WindowBuilder(
-            num_entities,
-            num_relations,
-            history_length=history_length,
-            granularity=granularity,
-            use_global=use_global,
-            global_max_history=global_max_history,
-            track_vocabulary=track_vocabulary,
-        )
+        if window_config is None:
+            window_config = WindowConfig(
+                history_length=history_length,
+                granularity=granularity,
+                use_global=use_global,
+                track_vocabulary=track_vocabulary,
+                global_max_history=global_max_history,
+            )
+        self.window_config = window_config
+        self._builder = window_config.build(num_entities, num_relations)
         self._lock = threading.RLock()
         self._pending: List[np.ndarray] = []
         self._pending_time: Optional[int] = None

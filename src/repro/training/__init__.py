@@ -7,7 +7,7 @@ from repro.training.metrics import (
     mrr,
     summarize_ranks,
 )
-from repro.training.evaluator import Evaluator, build_time_filter
+from repro.training.evaluator import Evaluator, TimelineEvaluator, build_time_filter
 from repro.training.trainer import Trainer, TrainResult
 from repro.training.seeding import seed_everything
 from repro.training.history import EpochRecord, TrainingHistory
@@ -20,6 +20,7 @@ __all__ = [
     "mrr",
     "summarize_ranks",
     "Evaluator",
+    "TimelineEvaluator",
     "build_time_filter",
     "Trainer",
     "TrainResult",

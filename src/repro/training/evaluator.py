@@ -3,6 +3,13 @@
 The evaluator replays the timeline: history is absorbed snapshot by
 snapshot; at each evaluation timestamp the model scores every query
 (raw and inverse) given only the past, and filtered ranks are recorded.
+
+All scoring goes through an :class:`repro.core.execution.ExecutionPlan`
+so encoder states are computed once per distinct (timestamp, window
+fingerprint) and shared: :meth:`TimelineEvaluator.evaluate_joint` ranks
+entities *and* relations from one encode per timestamp, and passing the
+same plan to :meth:`evaluate_walk` then :meth:`evaluate_relations`
+makes the second walk decode entirely from cached states.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.execution import EncoderStateCache, ExecutionPlan
 from repro.data.dataset import SplitView, TKGDataset
 from repro.obs.logging import log_event
 from repro.training.metrics import RankingResult, filtered_ranks, summarize_ranks
@@ -31,21 +39,43 @@ def build_time_filter(
     return time_filter
 
 
-class Evaluator:
+class TimelineEvaluator:
     """Walks the timeline and scores a model with time-filtered metrics.
 
-    Works with any model exposing ``predict_entities(window, queries)``
-    and relies on a :class:`repro.core.window.WindowBuilder` (owned by
-    the trainer) for history assembly.
+    Works with any model speaking the encode/decode protocol (or, as a
+    fallback, exposing ``predict_entities(window, queries)``) and relies
+    on a :class:`repro.core.window.WindowBuilder` (owned by the trainer)
+    for history assembly.
+
+    Args:
+        dataset: supplies the relation vocabulary for inverse queries.
+        state_cache_entries: capacity of the per-call default encoder
+            state cache; callers sharing states across walks should
+            pass their own ``plan`` instead.
     """
 
-    def __init__(self, dataset: TKGDataset):
+    def __init__(self, dataset: TKGDataset, state_cache_entries: int = 32):
         self.dataset = dataset
         self.num_relations = dataset.num_relations
+        self.state_cache_entries = state_cache_entries
 
     def queries_with_inverse(self, quads: np.ndarray) -> np.ndarray:
         """Raw + inverse queries for one snapshot."""
         return TKGDataset.add_inverse(quads, self.num_relations)
+
+    def make_plan(self, model) -> ExecutionPlan:
+        """A fresh plan with an evaluator-owned state cache."""
+        return ExecutionPlan(
+            model,
+            cache=EncoderStateCache(capacity=self.state_cache_entries, owner="evaluator"),
+        )
+
+    def _resolve_plan(self, model, plan: Optional[ExecutionPlan]) -> ExecutionPlan:
+        if plan is not None:
+            if plan.model is not model:
+                raise ValueError("plan.model must be the model under evaluation")
+            return plan
+        return self.make_plan(model)
 
     def evaluate_walk(
         self,
@@ -55,6 +85,7 @@ class Evaluator:
         warmup_splits: Iterable[SplitView] = (),
         max_timestamps: Optional[int] = None,
         two_phase: bool = False,
+        plan: Optional[ExecutionPlan] = None,
     ) -> RankingResult:
         """Evaluate ``model`` over ``eval_split``.
 
@@ -70,7 +101,11 @@ class Evaluator:
                 graph (the paper's propagation strategy, §4.1.3).  The
                 default single pass shares one graph for both — cheaper,
                 nearly identical metrics on the synthetic profiles.
+            plan: optional shared :class:`ExecutionPlan`; passing the
+                same plan to a later :meth:`evaluate_relations` walk
+                lets it decode from this walk's cached encoder states.
         """
+        plan = self._resolve_plan(model, plan)
         window_builder.reset()
         for split in warmup_splits:
             for _, quads in sorted(split.facts_by_time().items()):
@@ -88,12 +123,12 @@ class Evaluator:
                 inverse[:, 1] += self.num_relations
                 for phase_queries in (raw, inverse):
                     window = window_builder.window_for(phase_queries, prediction_time=t)
-                    scores = model.predict_entities(window, phase_queries)
+                    scores = plan.entity_scores(window, phase_queries)
                     ranks.append(filtered_ranks(scores, phase_queries, time_filter))
             else:
                 queries = self.queries_with_inverse(quads)
                 window = window_builder.window_for(queries, prediction_time=t)
-                scores = model.predict_entities(window, queries)
+                scores = plan.entity_scores(window, queries)
                 ranks.append(filtered_ranks(scores, queries, time_filter))
             window_builder.absorb(quads)
         result = summarize_ranks(ranks)
@@ -115,16 +150,18 @@ class Evaluator:
         eval_split: SplitView,
         warmup_splits: Iterable[SplitView] = (),
         max_timestamps: Optional[int] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> RankingResult:
         """Relation-prediction metrics for joint models.
 
-        ``model`` must expose ``forward(window, queries) -> (entity
-        logits, relation logits)`` (HisRES, and any baseline with a
-        relation decoder exposing the same signature).  Ranks are
+        ``model`` must expose a relation decoder (HisRES, and any
+        baseline implementing ``decode_relations``).  Ranks are
         filtered against the true relations of the same (s, o) at t.
+        With a shared ``plan``, a preceding entity walk over the same
+        split leaves every needed encoder state in cache and this walk
+        is decode-only.
         """
-        from repro.nn.tensor import no_grad
-
+        plan = self._resolve_plan(model, plan)
         window_builder.reset()
         for split in warmup_splits:
             for _, quads in sorted(split.facts_by_time().items()):
@@ -137,15 +174,59 @@ class Evaluator:
         for t, quads in items:
             queries = self.queries_with_inverse(quads)
             window = window_builder.window_for(queries, prediction_time=t)
-            with no_grad():
-                _, relation_logits = model.forward(window, queries)
-            scores = relation_logits.data
-            # (s, o) -> true relations at this timestamp
-            rel_filter = {}
-            for s, r, o, _ in queries:
-                rel_filter.setdefault((int(s), int(o)), set()).add(int(r))
-            # reuse filtered_ranks by viewing queries as (s, o, r)
-            view = queries[:, [0, 2, 1]]
-            ranks.append(filtered_ranks(scores, view, rel_filter))
+            scores = plan.relation_scores(window, queries)
+            ranks.append(self._relation_ranks(scores, queries))
             window_builder.absorb(quads)
         return summarize_ranks(ranks)
+
+    def evaluate_joint(
+        self,
+        model,
+        window_builder,
+        eval_split: SplitView,
+        warmup_splits: Iterable[SplitView] = (),
+        max_timestamps: Optional[int] = None,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> Tuple[RankingResult, Optional[RankingResult]]:
+        """Entity and relation metrics from ONE encode per timestamp.
+
+        Returns ``(entity_result, relation_result)``; the relation
+        result is None for entity-only models.
+        """
+        plan = self._resolve_plan(model, plan)
+        window_builder.reset()
+        for split in warmup_splits:
+            for _, quads in sorted(split.facts_by_time().items()):
+                window_builder.absorb(quads)
+
+        entity_ranks: List[np.ndarray] = []
+        relation_ranks: List[np.ndarray] = []
+        items = sorted(eval_split.facts_by_time().items())
+        if max_timestamps is not None:
+            items = items[:max_timestamps]
+        for t, quads in items:
+            queries = self.queries_with_inverse(quads)
+            window = window_builder.window_for(queries, prediction_time=t)
+            entity_scores, relation_scores = plan.entity_and_relation_scores(window, queries)
+            time_filter = build_time_filter(quads, self.num_relations)
+            entity_ranks.append(filtered_ranks(entity_scores, queries, time_filter))
+            if relation_scores is not None:
+                relation_ranks.append(self._relation_ranks(relation_scores, queries))
+            window_builder.absorb(quads)
+        entity_result = summarize_ranks(entity_ranks)
+        relation_result = summarize_ranks(relation_ranks) if relation_ranks else None
+        return entity_result, relation_result
+
+    @staticmethod
+    def _relation_ranks(scores: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Filtered relation ranks: (s, o) -> true relations at t."""
+        rel_filter: Dict[Tuple[int, int], Set[int]] = {}
+        for s, r, o, _ in queries:
+            rel_filter.setdefault((int(s), int(o)), set()).add(int(r))
+        # reuse filtered_ranks by viewing queries as (s, o, r)
+        view = queries[:, [0, 2, 1]]
+        return filtered_ranks(scores, view, rel_filter)
+
+
+#: Backwards-compatible alias (pre-refactor name).
+Evaluator = TimelineEvaluator

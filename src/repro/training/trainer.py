@@ -17,13 +17,14 @@ import numpy as np
 
 from repro.data.dataset import TKGDataset
 from repro.nn import Adam, clip_grad_norm_
-from repro.core.window import WindowBuilder
+from repro.core.config import WindowConfig
+from repro.core.execution import EncoderStateCache, ExecutionPlan
 from repro.obs.health import HealthMonitor
 from repro.obs.logging import configure_logging, log_event
 from repro.obs.metrics import get_registry
 from repro.obs.runs import new_run_id
 from repro.obs.trace import span
-from repro.training.evaluator import Evaluator
+from repro.training.evaluator import TimelineEvaluator
 from repro.training.metrics import RankingResult
 from repro.training.seeding import seed_everything
 
@@ -71,19 +72,25 @@ class Trainer:
         self.seed = seed
         self.run_id = run_id or new_run_id()
         seed_everything(seed)
-        self.window_builder = WindowBuilder(
-            dataset.num_entities,
-            dataset.num_relations,
+        self.window_config = WindowConfig(
             history_length=history_length,
             granularity=granularity,
             use_global=use_global,
-            global_max_history=global_max_history,
             track_vocabulary=track_vocabulary,
+            global_max_history=global_max_history,
+        )
+        self.window_builder = self.window_config.build(
+            dataset.num_entities, dataset.num_relations
         )
         self.optimizer = Adam(model.parameters(), lr=learning_rate, weight_decay=weight_decay)
         self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
         self.grad_clip = grad_clip
-        self.evaluator = Evaluator(dataset)
+        self.evaluator = TimelineEvaluator(dataset)
+        # Evaluations between epochs share one plan; cached encoder
+        # states are keyed on the model version, which train_epoch bumps
+        # after optimising, so stale states are never decoded.
+        self.state_cache = EncoderStateCache(owner="trainer")
+        self.plan = ExecutionPlan(model, cache=self.state_cache)
         # Health watchdogs ride along by default (NaN/Inf aborts; trend
         # events warn).  Pass ``health=False`` to opt out entirely, or a
         # configured HealthMonitor to set policies and a bundle dir.
@@ -151,7 +158,7 @@ class Trainer:
                 with span("train.step", t=int(t), queries=len(queries)):
                     window = builder.window_for(queries, prediction_time=t)
                     self.model.zero_grad()
-                    loss = self.model.loss(window, queries)
+                    loss = self.plan.loss(window, queries)
                     loss.backward()
                     grad_norms.append(
                         clip_grad_norm_(self.model.parameters(), self.grad_clip)
@@ -177,6 +184,9 @@ class Trainer:
         if grad_norms:
             self._gauge_grad_norm.set(float(np.mean(grad_norms)))
         self._epoch_index += 1
+        if losses and hasattr(self.model, "bump_version"):
+            # weights moved in place: invalidate cached encoder states
+            self.model.bump_version()
         return float(np.mean(losses)) if losses else 0.0
 
     # ------------------------------------------------------------------
@@ -202,6 +212,7 @@ class Trainer:
             eval_split,
             warmup_splits=warmup,
             max_timestamps=max_timestamps,
+            plan=self.plan,
         )
 
     # ------------------------------------------------------------------

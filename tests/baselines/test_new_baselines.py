@@ -66,8 +66,8 @@ class TestRETIA:
         model = RETIA(E, R, dim=8)
         model.eval()
         window, _ = _window()
-        _, relations = model._encode(window)
-        assert not np.allclose(relations.data, model.relation.weight.data)
+        state = model.encode(window)
+        assert not np.allclose(state.relation_matrix.data, model.relation.weight.data)
 
 
 class TestRPC:

@@ -19,9 +19,12 @@ def _engine(tiny_dataset):
     model = build_model(
         "hisres", tiny_dataset.num_entities, tiny_dataset.num_relations, dim=8
     )
-    # cache_entries=0 disables the score cache so every predict call
-    # actually reaches the model (and hence the graph plane)
-    return InferenceEngine(model, store, cache_entries=0, batch_window_s=0.0)
+    # cache_entries=0 disables the score cache and state_cache_entries=0
+    # the encoder-state cache, so every predict call actually reaches
+    # the model (and hence the graph plane)
+    return InferenceEngine(
+        model, store, cache_entries=0, batch_window_s=0.0, state_cache_entries=0
+    )
 
 
 def test_stats_expose_graph_cache_counters(tiny_dataset):

@@ -95,6 +95,36 @@ class TestMetricsEndpoint:
         assert "repro_compiled_graph_builds_total" in text
         assert "repro_window_cache_events_total" in text
 
+    def test_encoder_state_cache_counters_exported(self, served):
+        """Cold (s, r) pairs on a quiet window share one encode: the
+        state-cache hit counter must be non-zero and exported."""
+        server, engine = served
+        # distinct cold pairs -> prediction-cache misses, but the window
+        # content is unchanged (no global graph for distmult), so all but
+        # the first decode from the cached encoder state
+        for pair in ((2, 0), (3, 1), (4, 2), (5, 3)):
+            _post(server.url + "/predict", {"subject": pair[0], "relation": pair[1]})
+        _, text = _get(server.url + "/metrics")
+        hit = re.search(
+            r'repro_encoder_state_cache_events_total\{owner="serving",event="hit"\} (\d+)',
+            text,
+        )
+        miss = re.search(
+            r'repro_encoder_state_cache_events_total\{owner="serving",event="miss"\} (\d+)',
+            text,
+        )
+        assert hit and miss, "encoder-state cache counters missing from /metrics"
+        assert int(miss.group(1)) >= 1
+        assert int(hit.group(1)) >= 1, "no state-cache hits on a quiet window"
+        assert 'repro_encoder_state_cache_entries{owner="serving"}' in text
+        # /stats reads the same underlying cache (the registry counters
+        # are cumulative across every serving-owned cache in the
+        # process, so exported >= this instance's counts)
+        stats = engine.stats()["state_cache"]
+        assert int(hit.group(1)) >= stats["hits"] >= 1
+        assert int(miss.group(1)) >= stats["misses"] >= 1
+        assert stats["hit_rate"] > 0.0
+
     def test_window_version_gauge_tracks_store(self, served):
         server, engine = served
         _, text = _get(server.url + "/metrics")
