@@ -78,6 +78,20 @@ class TKGBaseline(Module):
         """Relation logits (n, 2|R|), or None for entity-only models."""
         return None
 
+    def decode_entity_range(
+        self, state: EncoderState, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Entity scores restricted to candidates ``[lo, hi)``.
+
+        Default: full decode, then slice — range-consistent for every
+        model (including fused ones) because each shard's slice is a
+        sub-array of the one full score matrix.  Models whose decode
+        ends in a candidate matmul override this with a genuinely
+        restricted tile-grid computation (HisRES, RE-GCN) so sharded
+        serving workers do ~``1/num_shards`` of the decode work.
+        """
+        return np.asarray(self.decode(state, queries).data)[:, lo:hi]
+
     def _make_state(
         self,
         window: HistoryWindow,

@@ -69,6 +69,15 @@ class REGCN(TKGBaseline):
         r = state.relation_matrix.index_select(queries[:, 1])
         return self.entity_decoder(s, r, state.entity_matrix)
 
+    def decode_entity_range(
+        self, state: EncoderState, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Sharded serving decode over candidates ``[lo, hi)`` (tile grid)."""
+        queries = np.asarray(queries, dtype=np.int64)
+        s = state.entity_matrix.index_select(queries[:, 0])
+        r = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder.score_range(s, r, state.entity_matrix, lo, hi)
+
     def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
         s = state.entity_matrix.index_select(queries[:, 0])

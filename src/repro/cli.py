@@ -7,7 +7,10 @@ Commands:
 - ``train``     — train any registered model on a profile/TSV and
   report time-filtered test metrics (``--save`` checkpoints it);
 - ``eval``      — evaluate a saved checkpoint on a dataset split;
-- ``serve``     — run the online inference HTTP server from a checkpoint;
+- ``serve``     — run the online inference HTTP server from a checkpoint
+  (``--workers N`` scales out to the sharded cluster);
+- ``cluster``   — sharded serving: router frontend + N entity-range
+  decode workers sharing an encoder-state tier;
 - ``ingest``    — stream events to a running server;
 - ``predict``   — top-k query against a running server (or offline);
 - ``profile``   — run a few train/eval steps under the op-level
@@ -171,6 +174,22 @@ def cmd_eval(args) -> int:
     return 0
 
 
+def _warm_store(store, warmup: Optional[str], warmup_splits: str) -> None:
+    """Replay dataset splits into a history store as pre-serving history."""
+    if not warmup:
+        return
+    if warmup.endswith(".tsv"):
+        from repro.data import load_tsv
+
+        warmup_dataset = load_tsv(warmup)
+    else:
+        warmup_dataset = generate_dataset(warmup)
+    for split_name in warmup_splits.split(","):
+        split_name = split_name.strip()
+        if split_name:
+            store.warm_up(getattr(warmup_dataset, split_name))
+
+
 def _build_engine(args):
     """Shared serve/predict path: checkpoint -> warmed-up engine."""
     from repro.serving import InferenceEngine
@@ -181,23 +200,60 @@ def _build_engine(args):
         batch_window_s=args.batch_window_ms / 1e3,
         state_cache_entries=args.state_cache_entries,
     )
-    if args.warmup:
-        if args.warmup.endswith(".tsv"):
-            from repro.data import load_tsv
-
-            warmup_dataset = load_tsv(args.warmup)
-        else:
-            warmup_dataset = generate_dataset(args.warmup)
-        for split_name in args.warmup_splits.split(","):
-            split_name = split_name.strip()
-            if split_name:
-                engine.store.warm_up(getattr(warmup_dataset, split_name))
+    _warm_store(engine.store, args.warmup, args.warmup_splits)
     return engine
+
+
+def _cluster_config(args):
+    """Map serve/cluster argparse namespaces onto a ClusterConfig."""
+    from repro.serving import ClusterConfig
+
+    return ClusterConfig(
+        checkpoint=args.checkpoint,
+        num_workers=args.workers,
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        warmup=args.warmup,
+        warmup_splits=args.warmup_splits,
+        cache_entries=args.cache_entries,
+        state_cache_entries=args.state_cache_entries,
+        batch_window_ms=args.batch_window_ms,
+        verbose=args.verbose,
+    )
+
+
+def _run_cluster(args) -> int:
+    """Spawn workers + router and serve until SIGTERM/SIGINT drains."""
+    from repro.serving import ClusterSupervisor
+    from repro.serving.server import run_with_graceful_shutdown
+
+    supervisor = ClusterSupervisor(_cluster_config(args))
+    try:
+        server = supervisor.start()
+    except RuntimeError as exc:
+        supervisor.stop()
+        raise SystemExit(str(exc))
+    print(
+        f"cluster router at {server.url} "
+        f"({args.workers} workers, state tier {supervisor.state_dir})  "
+        "(Ctrl-C to drain and stop)",
+        flush=True,
+    )
+    try:
+        run_with_graceful_shutdown(server)
+    finally:
+        server.server_close()
+        supervisor.stop()
+    return 0
 
 
 def cmd_serve(args) -> int:
     from repro.serving import create_server
+    from repro.serving.server import run_with_graceful_shutdown
 
+    if getattr(args, "workers", 1) > 1:
+        return _run_cluster(args)
     if args.trace:
         from repro.obs import enable_tracing
 
@@ -206,12 +262,56 @@ def cmd_serve(args) -> int:
     server = create_server(engine, host=args.host, port=args.port, verbose=args.verbose)
     print(f"serving {engine.model_key} at {server.url}  (Ctrl-C to stop)", flush=True)
     try:
-        server.serve_forever()
+        run_with_graceful_shutdown(server)
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
         _finish_trace(args.trace)
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    """Explicit sharded-cluster entry point (``serve --workers N`` alias)."""
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    return _run_cluster(args)
+
+
+def cmd_cluster_worker(args) -> int:
+    """One decode worker process (spawned by the cluster supervisor).
+
+    Prints a ``CLUSTER-WORKER-READY {json}`` handshake line carrying the
+    bound URL + shard range, then serves until SIGTERM/SIGINT drains it.
+    """
+    import json as _json
+
+    from repro.serving import create_worker_server
+    from repro.serving.cluster import READY_PREFIX, build_shard_engine
+    from repro.serving.server import run_with_graceful_shutdown
+
+    engine = build_shard_engine(
+        args.checkpoint,
+        shard_index=args.shard_index,
+        num_shards=args.num_shards,
+        state_dir=args.state_dir,
+        cache_entries=args.cache_entries,
+        state_cache_entries=args.state_cache_entries,
+        batch_window_s=args.batch_window_ms / 1e3,
+    )
+    _warm_store(engine.store, args.warmup, args.warmup_splits)
+    server = create_worker_server(engine, host=args.host, port=args.port)
+    print(
+        READY_PREFIX
+        + _json.dumps({"url": server.url, "shard": engine.shard.as_dict()}),
+        flush=True,
+    )
+    try:
+        run_with_graceful_shutdown(server)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -569,10 +669,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="encoder-state LRU capacity beneath the prediction cache (0 disables)")
     p.add_argument("--batch-window-ms", type=float, default=2.0,
                    help="micro-batch coalescing window (0 disables the wait)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="decode worker processes; >1 runs the sharded cluster "
+                        "(router + entity-range workers, see `repro cluster`)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="shared encoder-state tier directory for cluster workers "
+                        "(default: a fresh temp dir)")
     p.add_argument("--verbose", action="store_true", help="log every request")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record request spans; written on shutdown")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="sharded serving: router + N entity-range decode workers",
+    )
+    p.add_argument("checkpoint", help="checkpoint written by `train --save`")
+    p.add_argument("--workers", type=int, default=2,
+                   help="decode worker processes (entity-range shards)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8420, help="router port")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="shared encoder-state tier directory (default: temp dir)")
+    p.add_argument("--warmup", default=None,
+                   help="profile name or .tsv to replay as history before serving")
+    p.add_argument("--warmup-splits", default="train,valid")
+    p.add_argument("--cache-entries", type=int, default=4096)
+    p.add_argument("--state-cache-entries", type=int, default=8)
+    p.add_argument("--batch-window-ms", type=float, default=0.0)
+    p.add_argument("--verbose", action="store_true", help="log every request")
+    p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser(
+        "cluster-worker",
+        help="one decode worker (spawned by the cluster supervisor)",
+    )
+    p.add_argument("checkpoint", help="checkpoint written by `train --save`")
+    p.add_argument("--shard-index", type=int, required=True)
+    p.add_argument("--num-shards", type=int, required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 auto-picks a port")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="shared encoder-state tier directory")
+    p.add_argument("--warmup", default=None)
+    p.add_argument("--warmup-splits", default="train,valid")
+    p.add_argument("--cache-entries", type=int, default=4096)
+    p.add_argument("--state-cache-entries", type=int, default=8)
+    p.add_argument("--batch-window-ms", type=float, default=0.0)
+    p.set_defaults(func=cmd_cluster_worker)
 
     p = sub.add_parser("ingest", help="stream events to a running server")
     p.add_argument("--url", required=True, help="server base URL")

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from repro.core.execution import candidate_scores_range
 from repro.nn import BatchNorm1d, Conv1d, Dropout, Linear
 from repro.nn import functional as F
 from repro.nn.module import Module
@@ -61,3 +64,17 @@ class ConvTransEDecoder(Module):
         """Return logits (batch, num_candidates)."""
         fused = self.query_embedding(first, second)
         return fused @ candidates.T
+
+    def score_range(
+        self, first: Tensor, second: Tensor, candidates: Tensor, lo: int, hi: int
+    ) -> np.ndarray:
+        """No-grad scores against ``candidates[lo:hi]`` on the global tile grid.
+
+        The serving decode path: shard workers and the single-process
+        engine both come through here so overlapping entity ranges score
+        bitwise-identically (see
+        :func:`repro.core.execution.candidate_scores_range`).  Inference
+        only — the returned array carries no autograd graph.
+        """
+        fused = self.query_embedding(first, second)
+        return candidate_scores_range(fused.data, candidates.data, lo, hi)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,85 @@ from repro.core.window import HistoryWindow
 from repro.nn.tensor import Tensor, get_default_dtype
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
+
+#: Column-tile width of the range-restricted decode grid.  Sharded
+#: serving splits the final ``queries @ candidates.T`` score matmul by
+#: entity range; BLAS results are only bitwise-reproducible when every
+#: participant issues calls of identical shape over identical data, so
+#: all range decodes — including the full-range one the single-process
+#: engine runs — walk the same *global* tile grid anchored at entity 0.
+DECODE_TILE = 1024
+
+
+def candidate_scores_range(
+    query_embeddings: np.ndarray, candidates: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Score ``query_embeddings`` against ``candidates[lo:hi]`` tile-wise.
+
+    Computes ``query_embeddings @ candidates[lo:hi].T`` as a walk over
+    the global :data:`DECODE_TILE` grid, so any two callers covering
+    overlapping entity ranges produce bitwise-identical (float64)
+    scores for the shared entities — the invariant the cluster's
+    scatter/merge correctness (and its parity tests) rest on.
+    """
+    query_embeddings = np.asarray(query_embeddings)
+    candidates = np.asarray(candidates)
+    total = candidates.shape[0]
+    lo = max(0, int(lo))
+    hi = min(total, int(hi))
+    if hi <= lo:
+        return np.zeros((query_embeddings.shape[0], 0), dtype=query_embeddings.dtype)
+    parts = []
+    for a in range((lo // DECODE_TILE) * DECODE_TILE, hi, DECODE_TILE):
+        b = min(a + DECODE_TILE, total)
+        tile = query_embeddings @ candidates[a:b].T
+        parts.append(tile[:, max(lo, a) - a : min(hi, b) - a])
+    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+
+
+def topk_ranked(
+    scores: np.ndarray, k: int, base: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic top-k of a 1-D score vector: ``(indices, values)``.
+
+    Ordering is canonical — score descending, then entity id ascending
+    on exact ties — so a top-k computed over the full entity space is
+    *identical* to the merge of per-shard top-ks (see
+    :func:`merge_topk`), which ``np.argpartition`` alone (unspecified
+    tie order) does not guarantee.  ``base`` offsets returned indices
+    into the global entity space for shard-local score slices.
+    """
+    scores = np.asarray(scores)
+    if scores.size == 0:
+        return np.zeros(0, dtype=np.int64), scores
+    k = max(1, min(int(k), scores.size))
+    part = np.argpartition(scores, scores.size - k)[scores.size - k :]
+    # argpartition picks an ARBITRARY subset of elements tied at the
+    # k-boundary; widen to every element tied with the boundary score so
+    # the canonical sort (not the partition) decides which ties survive
+    cand = np.nonzero(scores >= scores[part].min())[0]
+    # primary key: score descending; secondary: entity id ascending
+    order = np.lexsort((cand, -scores[cand]))[:k]
+    idx = cand[order]
+    return idx.astype(np.int64) + int(base), scores[idx]
+
+
+def merge_topk(
+    partials: Sequence[Tuple[np.ndarray, np.ndarray]], k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``(indices, values)`` partial top-ks into a global one.
+
+    As long as every shard contributed its own canonical top
+    ``min(k, shard_size)`` (:func:`topk_ranked`), the merge equals the
+    single-process top-k bitwise: any entity in the global top-k ranks
+    in the top-k of its own shard, so it is present in the union.
+    """
+    ids = np.concatenate([np.asarray(i, dtype=np.int64) for i, _ in partials])
+    vals = np.concatenate([np.asarray(v) for _, v in partials])
+    if ids.size == 0:
+        return ids, vals
+    order = np.lexsort((ids, -vals))[: max(1, int(k))]
+    return ids[order], vals[order]
 
 
 @dataclass(frozen=True, eq=False)
@@ -156,6 +235,36 @@ class EncoderStateCache:
     def _key(self, model, model_key: str, fingerprint: Hashable) -> Hashable:
         return (model_key, getattr(model, "version", 0), str(get_default_dtype()), fingerprint)
 
+    def _cache_get(self, key: Hashable) -> Optional[EncoderState]:
+        """In-memory lookup; a hit refreshes recency and counts."""
+        with self._lock:
+            state = self._data.get(key)
+            if state is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+        if state is not None:
+            self._counters["hit"].inc()
+        return state
+
+    def _cache_put(self, key: Hashable, state: EncoderState) -> None:
+        """Insert a cacheable state, evicting LRU entries past capacity."""
+        if not state.cacheable or self.capacity <= 0:
+            return
+        with self._lock:
+            self._data[key] = state
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                self._counters["evict"].inc()
+            self._gauge_entries.set(len(self._data))
+
+    def _encode_live(self, model, window: HistoryWindow, fingerprint: Hashable) -> EncoderState:
+        """One real encode (eval + no-grad), stamped with the fingerprint."""
+        with span("encoder.encode", owner=self.owner):
+            with _inference(model):
+                state = model.encode(window)
+        return replace(state, fingerprint=fingerprint)
+
     def get_or_encode(self, model, window: HistoryWindow, model_key: str = "model") -> EncoderState:
         """Return the cached state for ``window`` or run one live encode.
 
@@ -166,28 +275,13 @@ class EncoderStateCache:
         """
         fingerprint = window.fingerprint()
         key = self._key(model, model_key, fingerprint)
-        with self._lock:
-            state = self._data.get(key)
-            if state is not None:
-                self._data.move_to_end(key)
-                self.hits += 1
+        state = self._cache_get(key)
         if state is not None:
-            self._counters["hit"].inc()
             return state
         self.misses += 1
         self._counters["miss"].inc()
-        with span("encoder.encode", owner=self.owner):
-            with _inference(model):
-                state = model.encode(window)
-        state = replace(state, fingerprint=fingerprint)
-        if state.cacheable and self.capacity > 0:
-            with self._lock:
-                self._data[key] = state
-                while len(self._data) > self.capacity:
-                    self._data.popitem(last=False)
-                    self.evictions += 1
-                    self._counters["evict"].inc()
-                self._gauge_entries.set(len(self._data))
+        state = self._encode_live(model, window, fingerprint)
+        self._cache_put(key, state)
         return state
 
     def clear(self) -> None:
@@ -263,6 +357,32 @@ class ExecutionPlan:
         state = self.encode(window)
         with _inference(self.model):
             return self.model.decode(state, queries).data
+
+    def entity_scores_range(
+        self, window: HistoryWindow, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Entity scores restricted to the candidate range ``[lo, hi)``.
+
+        The serving plane's sharded decode path: a cluster worker owning
+        entities ``[lo, hi)`` scores only its slice, and the
+        single-process engine scores the full range ``[0, |E|)`` through
+        the *same* code path, so per-shard score slices are bitwise
+        (float64) sub-arrays of the single-process score vector.
+
+        Models that can restrict their final candidate matmul override
+        ``decode_entity_range`` (tile-grid walk, see
+        :func:`candidate_scores_range`); everything else — including
+        fused vocabulary models — computes the full decode and slices,
+        which is range-consistent by construction.
+        """
+        if not hasattr(self.model, "encode"):  # legacy duck-typed models
+            return np.asarray(self.model.predict_entities(window, queries))[:, lo:hi]
+        state = self.encode(window)
+        with _inference(self.model):
+            decode_range = getattr(self.model, "decode_entity_range", None)
+            if decode_range is not None and not state.fused:
+                return np.asarray(decode_range(state, queries, lo, hi))
+            return np.asarray(self.model.decode(state, queries).data)[:, lo:hi]
 
     def relation_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
         """Relation score matrix (n, 2|R|) for joint models."""

@@ -112,6 +112,21 @@ class HisRES(Module):
         rel = state.relation_matrix.index_select(queries[:, 1])
         return self.entity_decoder(subj, rel, state.entity_matrix)
 
+    def decode_entity_range(
+        self, state: EncoderState, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Entity scores restricted to candidates ``[lo, hi)`` (serving shards).
+
+        Same query embedding as :meth:`decode`, but the final candidate
+        matmul walks the global decode tile grid so a shard worker's
+        slice is bitwise-identical to the corresponding columns of the
+        full-range decode (see ``repro.core.execution``).
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        subj = state.entity_matrix.index_select(queries[:, 0])
+        rel = state.relation_matrix.index_select(queries[:, 1])
+        return self.entity_decoder.score_range(subj, rel, state.entity_matrix, lo, hi)
+
     def decode_relations(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         """Relation logits (n, 2|R|) from the same encoded state."""
         queries = np.asarray(queries, dtype=np.int64)

@@ -33,7 +33,7 @@ import numpy as np
 from repro.graphs.global_graph import GlobalGraphBuilder
 from repro.graphs.history import HistoryVocabulary
 from repro.graphs.merge import merge_snapshots
-from repro.graphs.snapshot import SnapshotGraph, build_snapshot
+from repro.graphs.snapshot import SnapshotGraph, build_snapshot, stable_array_digest
 from repro.obs.metrics import get_registry
 
 # Each builder instance owns one labeled series per (cache, event) pair
@@ -46,10 +46,10 @@ _EVENTS = ("build", "hit")
 
 
 def _fingerprint(quads: np.ndarray) -> Tuple[int, int, int]:
-    """Cheap content key for one snapshot's quad array."""
+    """Cheap, process-stable content key for one snapshot's quad array."""
     quads = np.ascontiguousarray(quads)
     t = int(quads[0, 3]) if len(quads) else -1
-    return (t, quads.shape[0], hash(quads.tobytes()))
+    return (t, quads.shape[0], stable_array_digest(quads))
 
 
 @dataclass

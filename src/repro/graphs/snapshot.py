@@ -8,10 +8,26 @@ passing reaches both endpoints, matching RE-GCN/HisRES preprocessing.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
+
+
+def stable_array_digest(array: np.ndarray) -> int:
+    """Process-stable 64-bit content digest of an array's bytes.
+
+    Content fingerprints key caches that may be *shared across
+    processes* (the serving cluster's encoder-state tier), so they must
+    not depend on Python's per-process ``hash()`` salt
+    (``PYTHONHASHSEED``).  blake2b over the raw bytes is deterministic
+    everywhere and fast enough for per-snapshot edge arrays.
+    """
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(array).tobytes(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass
@@ -79,17 +95,20 @@ class SnapshotGraph:
 
         Two graphs with the same edges (in the same order) over the
         same entity/relation spaces fingerprint identically, regardless
-        of which builder instance materialised them.  Used by the
-        execution plane to key cached encoder states on window content.
+        of which builder instance — or which *process* — materialised
+        them (see :func:`stable_array_digest`).  Used by the execution
+        plane to key cached encoder states on window content, and by
+        the cluster's shared encoder-state tier to share encodes
+        between worker processes.
         """
         if self._content_fp is None:
             self._content_fp = (
                 self.num_entities,
                 self.num_relations,
                 self.num_edges,
-                hash(np.ascontiguousarray(self.src).tobytes()),
-                hash(np.ascontiguousarray(self.rel).tobytes()),
-                hash(np.ascontiguousarray(self.dst).tobytes()),
+                stable_array_digest(self.src),
+                stable_array_digest(self.rel),
+                stable_array_digest(self.dst),
             )
         return self._content_fp
 

@@ -14,6 +14,7 @@ finite differences in the test-suite.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -23,7 +24,12 @@ from repro._obshook import profiled
 Scalar = Union[int, float]
 ArrayLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
-_GRAD_ENABLED = True
+# Grad mode is THREAD-LOCAL (as in PyTorch): a threaded server runs
+# concurrent no_grad() inference on worker threads, and a process-global
+# flag would let their save/restore pairs interleave — the last exit
+# could restore another thread's "disabled" snapshot, permanently
+# turning gradients off for the whole process.
+_GRAD_STATE = threading.local()
 
 # ----------------------------------------------------------------------
 # default dtype
@@ -69,20 +75,23 @@ def default_dtype(dtype):
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently active."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is active on this thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction (inference mode).
+
+    The flag is per-thread, so concurrent inference threads cannot
+    clobber each other's (or a training thread's) grad mode.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -150,7 +159,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self.name = name
@@ -212,7 +221,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         parents = tuple(parents)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data)
         out.requires_grad = requires
         if requires:

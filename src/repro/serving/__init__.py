@@ -11,30 +11,80 @@ package serves *live* extrapolation traffic from a trained checkpoint:
   HTTP frontend (``/ingest``, ``/predict``, ``/health``, ``/stats``);
 - :class:`ServingClient` — urllib client (used by ``repro.cli``).
 
+Scale-out (same HTTP surface, N decode processes — see
+``docs/serving_cluster.md``):
+
+- :mod:`repro.serving.shard` — entity-range partition + shard workers;
+- :mod:`repro.serving.router` — scatter/gather frontend with bitwise
+  top-k merging and degraded partial-results mode;
+- :mod:`repro.serving.state_tier` — shared on-disk encoder-state tier
+  with single-flight encode locking;
+- :mod:`repro.serving.cluster` — supervisor: spawn, monitor, restart.
+
 Quickstart::
 
     python -m repro.cli train hisres unit_tiny --save model.npz
     python -m repro.cli serve model.npz --warmup unit_tiny --port 8420
+    python -m repro.cli serve model.npz --warmup unit_tiny --workers 4
     python -m repro.cli predict --url http://127.0.0.1:8420 3 1 --top-k 5
 """
 
 from repro.serving.cache import LRUCache
 from repro.serving.client import ServingClient, ServingError
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterSupervisor,
+    LocalCluster,
+    build_shard_engine,
+    launch_local_cluster,
+)
 from repro.serving.engine import InferenceEngine, MicroBatcher
-from repro.serving.server import ServingServer, create_server, serve_in_thread
+from repro.serving.router import ClusterRouter, RouterServer, create_router_server
+from repro.serving.server import (
+    DrainableHTTPServer,
+    ServingServer,
+    create_server,
+    run_with_graceful_shutdown,
+    serve_in_thread,
+)
+from repro.serving.shard import (
+    EntityShard,
+    ShardEngine,
+    ShardWorkerServer,
+    create_worker_server,
+    partition_entities,
+)
+from repro.serving.state_tier import SharedEncoderStateStore, TieredStateCache
 from repro.serving.stats import EndpointStats, ServerStats
 from repro.serving.store import OnlineHistoryStore
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "DrainableHTTPServer",
     "EndpointStats",
+    "EntityShard",
     "InferenceEngine",
     "LRUCache",
+    "LocalCluster",
     "MicroBatcher",
     "OnlineHistoryStore",
+    "RouterServer",
     "ServerStats",
     "ServingClient",
     "ServingError",
     "ServingServer",
+    "ShardEngine",
+    "ShardWorkerServer",
+    "SharedEncoderStateStore",
+    "TieredStateCache",
+    "build_shard_engine",
+    "create_router_server",
     "create_server",
+    "create_worker_server",
+    "launch_local_cluster",
+    "partition_entities",
+    "run_with_graceful_shutdown",
     "serve_in_thread",
 ]

@@ -49,6 +49,10 @@ class ServingClient:
             raise ServingError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
 
     # ------------------------------------------------------------------
+    def post(self, path: str, body: Dict) -> Dict:
+        """POST an arbitrary JSON body (cluster-internal routes)."""
+        return self._request("POST", path, body)
+
     def health(self) -> Dict:
         return self._request("GET", "/health")
 

@@ -1,0 +1,421 @@
+"""Cluster assembly: spawn workers, supervise them, wire the router.
+
+Topology (see ``docs/serving_cluster.md``):
+
+- one :class:`~repro.serving.router.RouterServer` frontend;
+- N ``repro.cli cluster-worker`` subprocesses, each a
+  :class:`~repro.serving.shard.ShardEngine` over one contiguous entity
+  range, sharing encoder states through a
+  :class:`~repro.serving.state_tier.SharedEncoderStateStore` directory;
+- a :class:`ClusterSupervisor` that performs the spawn handshake
+  (workers print a ``CLUSTER-WORKER-READY`` line with their bound URL),
+  monitors liveness, restarts dead workers, replays the router's ingest
+  journal into restarts, and revives them in the scatter set.
+
+:func:`launch_local_cluster` builds the same wiring from in-process
+worker threads — the parity/degradation tests use it to compare a
+cluster against a single-process engine without subprocess overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.nn.serialization import read_checkpoint_metadata
+from repro.serving.router import (
+    ClusterRouter,
+    RouterServer,
+    WorkerRef,
+    create_router_server,
+)
+from repro.serving.shard import (
+    EntityShard,
+    ShardEngine,
+    ShardWorkerServer,
+    create_worker_server,
+    partition_entities,
+)
+from repro.serving.state_tier import SharedEncoderStateStore, TieredStateCache
+
+READY_PREFIX = "CLUSTER-WORKER-READY "
+
+logger = logging.getLogger("repro.serving.cluster")
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to stand up router + workers from a checkpoint."""
+
+    checkpoint: str
+    num_workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 8420
+    state_dir: Optional[str] = None
+    warmup: Optional[str] = None
+    warmup_splits: str = "train,valid"
+    cache_entries: int = 4096
+    state_cache_entries: int = 8
+    batch_window_ms: float = 0.0
+    request_timeout_s: float = 30.0
+    ready_timeout_s: float = 120.0
+    restart_limit: int = 3
+    monitor_interval_s: float = 0.5
+    verbose: bool = False
+
+
+def build_shard_engine(
+    checkpoint: str,
+    shard_index: int,
+    num_shards: int,
+    state_dir: Optional[str] = None,
+    cache_entries: int = 4096,
+    state_cache_entries: int = 8,
+    batch_window_s: float = 0.0,
+) -> ShardEngine:
+    """Checkpoint -> one worker's :class:`ShardEngine`.
+
+    Mirrors :meth:`InferenceEngine.from_checkpoint` but restricts decode
+    to shard ``shard_index`` of ``num_shards`` and, when ``state_dir``
+    is given, stacks a :class:`TieredStateCache` over the shared
+    encoder-state directory so sibling workers encode each window once.
+    """
+    from repro.baselines import build_model
+    from repro.core.config import WindowConfig
+    from repro.nn.serialization import load_checkpoint
+    from repro.serving.store import OnlineHistoryStore
+
+    meta = read_checkpoint_metadata(checkpoint)
+    required = ("model", "num_entities", "num_relations")
+    missing = [key for key in required if key not in meta]
+    if missing:
+        raise ValueError(
+            f"checkpoint {checkpoint!r} lacks serving metadata {missing}; "
+            "re-save it with `repro.cli train --save`"
+        )
+    model_key = meta["model"]
+    num_entities = int(meta["num_entities"])
+    model = build_model(
+        model_key,
+        num_entities,
+        int(meta["num_relations"]),
+        dim=int(meta.get("dim", 32)),
+    )
+    load_checkpoint(model, checkpoint)
+    shard = partition_entities(num_entities, num_shards)[shard_index]
+    store = OnlineHistoryStore(
+        num_entities,
+        int(meta["num_relations"]),
+        window_config=WindowConfig.from_dict(meta.get("window")),
+    )
+    owner = f"shard{shard_index}"
+    state_cache = None
+    if state_dir and state_cache_entries:
+        state_cache = TieredStateCache(
+            SharedEncoderStateStore(state_dir, owner=owner),
+            capacity=state_cache_entries,
+            owner=owner,
+        )
+    return ShardEngine(
+        model,
+        store,
+        shard,
+        model_key=model_key,
+        cache_entries=cache_entries,
+        batch_window_s=batch_window_s,
+        metadata=meta,
+        state_cache_entries=state_cache_entries,
+        state_cache=state_cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# subprocess workers
+# ----------------------------------------------------------------------
+class _StdoutWatcher(threading.Thread):
+    """Drain a worker's stdout, capturing the READY handshake line."""
+
+    def __init__(self, proc: subprocess.Popen):
+        super().__init__(daemon=True)
+        self.proc = proc
+        self.ready = threading.Event()
+        self.payload: Optional[Dict] = None
+
+    def run(self) -> None:
+        stream = self.proc.stdout
+        if stream is None:
+            return
+        for line in stream:
+            if line.startswith(READY_PREFIX) and not self.ready.is_set():
+                try:
+                    self.payload = json.loads(line[len(READY_PREFIX):])
+                except json.JSONDecodeError:
+                    self.payload = None
+                self.ready.set()
+        # keep draining until EOF so the pipe can never block the worker
+
+
+class WorkerProcess:
+    """One spawned ``cluster-worker`` subprocess + its handshake result."""
+
+    def __init__(self, proc: subprocess.Popen, url: str, shard: EntityShard):
+        self.proc = proc
+        self.url = url
+        self.shard = shard
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        if not self.alive:
+            return
+        self.proc.terminate()  # SIGTERM -> graceful drain in the worker
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=timeout)
+
+
+def spawn_worker(
+    config: ClusterConfig, shard_index: int, state_dir: str
+) -> WorkerProcess:
+    """Start one worker subprocess and wait for its READY line."""
+    import repro
+
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "cluster-worker",
+        config.checkpoint,
+        "--shard-index", str(shard_index),
+        "--num-shards", str(config.num_workers),
+        "--host", config.host,
+        "--port", "0",
+        "--state-dir", state_dir,
+        "--cache-entries", str(config.cache_entries),
+        "--state-cache-entries", str(config.state_cache_entries),
+        "--batch-window-ms", str(config.batch_window_ms),
+    ]
+    if config.warmup:
+        cmd += ["--warmup", config.warmup, "--warmup-splits", config.warmup_splits]
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env
+    )
+    watcher = _StdoutWatcher(proc)
+    watcher.start()
+    if not watcher.ready.wait(timeout=config.ready_timeout_s) or watcher.payload is None:
+        proc.kill()
+        raise RuntimeError(
+            f"cluster worker {shard_index} did not hand shake within "
+            f"{config.ready_timeout_s:.0f}s"
+        )
+    payload = watcher.payload
+    shard = EntityShard(**payload["shard"])
+    return WorkerProcess(proc, payload["url"], shard)
+
+
+class ClusterSupervisor:
+    """Owns the worker subprocesses and the router's view of them.
+
+    Liveness: a monitor thread polls worker processes every
+    ``monitor_interval_s``; a dead worker is restarted (bounded by
+    ``restart_limit`` per shard), the router's ingest journal is
+    replayed into it, and its :class:`WorkerRef` is revived so the next
+    scatter includes it.  The router's ``on_failure`` hook feeds
+    request-path failures into the same restart machinery.
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        meta = read_checkpoint_metadata(config.checkpoint)
+        self.num_entities = int(meta["num_entities"])
+        self.shards = partition_entities(self.num_entities, config.num_workers)
+        self.state_dir = config.state_dir or tempfile.mkdtemp(prefix="repro-state-tier-")
+        self.processes: Dict[int, WorkerProcess] = {}
+        self.restarts: Dict[int, int] = {}
+        self.router: Optional[ClusterRouter] = None
+        self.server: Optional[RouterServer] = None
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._restart_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def start(self) -> RouterServer:
+        """Spawn all workers, build the router, start the monitor."""
+        for shard in self.shards:
+            self.processes[shard.index] = spawn_worker(
+                self.config, shard.index, self.state_dir
+            )
+        self.router = ClusterRouter(
+            [(p.url, p.shard) for p in self.processes.values()],
+            timeout_s=self.config.request_timeout_s,
+            on_failure=self._on_scatter_failure,
+        )
+        self.server = create_router_server(
+            self.router,
+            host=self.config.host,
+            port=self.config.port,
+            verbose=self.config.verbose,
+        )
+        self._monitor = threading.Thread(target=self._monitor_loop, daemon=True)
+        self._monitor.start()
+        return self.server
+
+    def _worker_ref(self, shard_index: int) -> Optional[WorkerRef]:
+        if self.router is None:
+            return None
+        for ref in self.router.workers:
+            if ref.shard.index == shard_index:
+                return ref
+        return None
+
+    def _on_scatter_failure(self, worker: WorkerRef) -> None:
+        """Router saw a worker fail a request (after retry)."""
+        logger.warning("shard %d failed a scatter leg", worker.shard.index)
+        # the monitor thread notices the dead process and restarts it;
+        # a *hung* (still-running) process is killed so the restart path
+        # has something to restart
+        proc = self.processes.get(worker.shard.index)
+        if proc is not None and proc.alive:
+            proc.proc.kill()
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.config.monitor_interval_s):
+            for shard_index, proc in list(self.processes.items()):
+                if not proc.alive and not self._stopping.is_set():
+                    self._restart(shard_index)
+
+    def _restart(self, shard_index: int) -> bool:
+        with self._restart_lock:
+            proc = self.processes.get(shard_index)
+            if proc is not None and proc.alive:
+                return True  # already restarted by another path
+            used = self.restarts.get(shard_index, 0)
+            if used >= self.config.restart_limit:
+                logger.error(
+                    "shard %d exceeded restart limit (%d); leaving it down",
+                    shard_index, self.config.restart_limit,
+                )
+                return False
+            self.restarts[shard_index] = used + 1
+            logger.warning("restarting shard %d (attempt %d)", shard_index, used + 1)
+            try:
+                replacement = spawn_worker(self.config, shard_index, self.state_dir)
+            except RuntimeError:
+                logger.error("shard %d failed to respawn", shard_index)
+                return False
+            self.processes[shard_index] = replacement
+            self._replay_journal(replacement)
+            ref = self._worker_ref(shard_index)
+            if ref is not None and self.router is not None:
+                self.router.revive(ref, url=replacement.url)
+            return True
+
+    def _replay_journal(self, proc: WorkerProcess) -> None:
+        """Re-send every accepted ingest body so history converges."""
+        if self.router is None:
+            return
+        from repro.serving.client import ServingClient, ServingError
+
+        client = ServingClient(proc.url, timeout=self.config.request_timeout_s)
+        for body in self.router.journal.entries():
+            try:
+                client.post("/ingest", body)
+            except ServingError:
+                logger.error("journal replay failed for shard %d", proc.shard.index)
+                return
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        for proc in self.processes.values():
+            proc.terminate()
+        if self.router is not None:
+            self.router.close()
+
+
+# ----------------------------------------------------------------------
+# in-process cluster (tests, notebooks)
+# ----------------------------------------------------------------------
+@dataclass
+class LocalCluster:
+    """In-process router + worker-thread cluster (see ``launch_local_cluster``)."""
+
+    router: ClusterRouter
+    server: RouterServer
+    worker_servers: List[ShardWorkerServer]
+    threads: List[threading.Thread] = field(default_factory=list)
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def kill_worker(self, shard_index: int) -> None:
+        """Simulate a worker crash: stop its HTTP server abruptly."""
+        for ws in self.worker_servers:
+            if ws.engine.shard.index == shard_index:
+                ws.shutdown()
+                ws.server_close()
+                return
+        raise ValueError(f"no worker owns shard {shard_index}")
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        for ws in self.worker_servers:
+            try:
+                ws.shutdown()
+                ws.server_close()
+            except OSError:
+                pass
+
+
+def launch_local_cluster(
+    engines: Sequence[ShardEngine],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout_s: float = 30.0,
+    on_failure=None,
+) -> LocalCluster:
+    """Wire ready-made shard engines into a threaded cluster.
+
+    Every engine gets its own :class:`ShardWorkerServer` on a daemon
+    thread, and a router frontend scatters across them — the full HTTP
+    path (JSON round-trips included) without subprocess start-up cost.
+    """
+    worker_servers: List[ShardWorkerServer] = []
+    threads: List[threading.Thread] = []
+    for engine in engines:
+        ws = create_worker_server(engine, host=host, port=0)
+        thread = threading.Thread(target=ws.serve_forever, daemon=True)
+        thread.start()
+        worker_servers.append(ws)
+        threads.append(thread)
+    router = ClusterRouter(
+        [(ws.url, ws.engine.shard) for ws in worker_servers],
+        timeout_s=timeout_s,
+        on_failure=on_failure,
+    )
+    server = create_router_server(router, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    threads.append(thread)
+    return LocalCluster(
+        router=router, server=server, worker_servers=worker_servers, threads=threads
+    )

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import WindowConfig
-from repro.core.execution import EncoderStateCache, ExecutionPlan
+from repro.core.execution import EncoderStateCache, ExecutionPlan, topk_ranked
 from repro.nn.serialization import load_checkpoint, read_checkpoint_metadata
 from repro.obs.trace import span
 from repro.serving.cache import LRUCache
@@ -127,6 +127,11 @@ class InferenceEngine:
             followers; 0 batches only what is already queued.
         state_cache_entries: encoder-state cache capacity (0 disables);
             sits beneath the prediction cache, keyed on window content.
+        state_cache: pre-built encoder-state cache to use instead of
+            constructing one — the cluster injects a
+            :class:`~repro.serving.state_tier.TieredStateCache` here so
+            worker replicas consult the shared on-disk tier before
+            encoding.  Overrides ``state_cache_entries``.
     """
 
     def __init__(
@@ -138,17 +143,21 @@ class InferenceEngine:
         batch_window_s: float = 0.002,
         metadata: Optional[Dict] = None,
         state_cache_entries: int = 8,
+        state_cache: Optional[EncoderStateCache] = None,
     ):
         self.model = model
         self.store = store
         self.model_key = model_key
         self.metadata = dict(metadata or {})
         self.cache = LRUCache(max_entries=cache_entries)
-        self.state_cache = (
-            EncoderStateCache(capacity=state_cache_entries, owner="serving")
-            if state_cache_entries
-            else None
-        )
+        if state_cache is not None:
+            self.state_cache = state_cache
+        else:
+            self.state_cache = (
+                EncoderStateCache(capacity=state_cache_entries, owner="serving")
+                if state_cache_entries
+                else None
+            )
         self.plan = ExecutionPlan(model, cache=self.state_cache, model_key=model_key)
         self._batcher = MicroBatcher(self._execute_batch, window_s=batch_window_s)
         self._model_lock = threading.Lock()
@@ -221,6 +230,25 @@ class InferenceEngine:
         return self.store.flush()
 
     # ------------------------------------------------------------------
+    def _score_range(self) -> Tuple[int, int]:
+        """Candidate entity range this engine decodes over.
+
+        The base engine owns the whole vocabulary; a cluster
+        :class:`~repro.serving.shard.ShardEngine` overrides this with
+        its contiguous slice.  Both go through the same tile-grid decode
+        so overlapping columns are bitwise-identical.
+        """
+        return 0, self.store.num_entities
+
+    def _cache_key(self, pair: Tuple[int, int], version: int) -> Tuple:
+        """Prediction-cache key: (model, model.version, s, r, window_version).
+
+        ``model.version`` participates so a hot-reload of new weights
+        invalidates stale score vectors even when the history window —
+        and therefore ``window_version`` — has not moved.
+        """
+        return (self.model_key, getattr(self.model, "version", 0)) + pair + (version,)
+
     def _execute_batch(
         self, pairs: Sequence[Tuple[int, int]]
     ) -> Dict[Tuple[int, int], np.ndarray]:
@@ -229,7 +257,7 @@ class InferenceEngine:
         results: Dict[Tuple[int, int], np.ndarray] = {}
         todo: List[Tuple[int, int]] = []
         for pair in dict.fromkeys(pairs):  # dedup, keep order
-            found, scores = self.cache.get((self.model_key,) + pair + (version,))
+            found, scores = self.cache.get(self._cache_key(pair, version))
             if found:
                 results[pair] = scores
             else:
@@ -239,15 +267,36 @@ class InferenceEngine:
             for i, (s, r) in enumerate(todo):
                 queries[i, 0] = s
                 queries[i, 1] = r
+            lo, hi = self._score_range()
             with span("engine.predict_batch", batch=len(pairs), misses=len(todo)):
                 with self._model_lock:
                     window = self.store.window_for(queries)
-                    scores = np.asarray(self.plan.entity_scores(window, queries))
+                    scores = np.asarray(
+                        self.plan.entity_scores_range(window, queries, lo, hi)
+                    )
                     self._predict_calls += 1
             for i, pair in enumerate(todo):
                 results[pair] = scores[i]
-                self.cache.put((self.model_key,) + pair + (version,), scores[i])
+                self.cache.put(self._cache_key(pair, version), scores[i])
         return results
+
+    def reload_weights(self, path: str) -> Dict[str, object]:
+        """Hot-swap model weights from a checkpoint without restarting.
+
+        ``load_checkpoint`` bumps ``model.version``, so every
+        prediction-cache and encoder-state-cache entry keyed on the old
+        version dies naturally — even if ``window_version`` is
+        unchanged (the regression this fixes: identical window, new
+        weights, stale cached scores).
+        """
+        with self._model_lock:
+            load_checkpoint(self.model, path)
+            if hasattr(self.model, "eval"):
+                self.model.eval()
+            return {
+                "reloaded": path,
+                "model_version": getattr(self.model, "version", 0),
+            }
 
     def _checked_pair(self, subject: int, relation: int, inverse: bool) -> Tuple[int, int]:
         """Validate and map to the doubled relation space."""
@@ -261,12 +310,10 @@ class InferenceEngine:
 
     @staticmethod
     def _top_k(scores: np.ndarray, top_k: int) -> List[Dict[str, object]]:
-        k = max(1, min(int(top_k), len(scores)))
-        top = np.argpartition(scores, -k)[-k:]
-        top = top[np.argsort(scores[top])[::-1]]
+        ids, values = topk_ranked(scores, top_k)
         return [
-            {"entity": int(e), "score": float(scores[e]), "rank": i + 1}
-            for i, e in enumerate(top)
+            {"entity": int(e), "score": float(v), "rank": i + 1}
+            for i, (e, v) in enumerate(zip(ids, values))
         ]
 
     def scores_for(self, subject: int, relation: int, inverse: bool = False) -> np.ndarray:

@@ -1,0 +1,397 @@
+"""Cluster router: scatter ``/predict`` by entity shard, merge top-ks.
+
+The router is the cluster's public face.  It speaks the exact same
+HTTP surface as the single-process server (``/ingest /predict /health
+/stats /metrics``), so clients cannot tell a cluster from one process —
+except that a cluster keeps answering (with ``"partial": true``) when
+a worker dies.
+
+Mechanics:
+
+- ``POST /ingest`` fans out to **all** workers (history is global) and
+  records the body in an :class:`IngestJournal` so a restarted worker
+  can be replayed back to the shared history state.
+- ``POST /predict`` scatters the full query list to every live worker
+  (each scores its own entity range), gathers shard-local canonical
+  top-ks, and merges them with
+  :func:`repro.core.execution.merge_topk` — bitwise-identical (float64)
+  to the single-process answer because shards decode on the global tile
+  grid and Python's JSON round-trips float64 exactly (``repr`` <->
+  ``float``).
+- A scatter leg that times out or errors is retried **once**; a second
+  failure marks the worker dead (``on_failure`` tells the supervisor to
+  restart it) and the response carries ``"partial": true`` plus the
+  missing shard ranges instead of failing the request.
+
+Per-shard observability: ``repro_cluster_requests_total{shard}``,
+``repro_cluster_failures_total{shard}``, and scatter/gather latency
+histograms ``repro_cluster_scatter_seconds`` /
+``repro_cluster_gather_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.execution import merge_topk
+from repro.obs.health import health_counter
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.server import BadRequest, BaseJSONHandler, DrainableHTTPServer
+from repro.serving.shard import EntityShard
+from repro.serving.stats import ServerStats
+
+
+class IngestJournal:
+    """Ordered record of every accepted ingest body.
+
+    Replayed into a restarted worker so its history store converges to
+    the same window (and window fingerprints — the state-tier keys) as
+    its siblings.  Unbounded by design at this reproduction's scale;
+    ``max_entries`` guards runaway streams by dropping the *oldest*
+    entries (a restarted worker then diverges — surfaced via
+    ``truncated`` in :meth:`stats`).
+    """
+
+    def __init__(self, max_entries: int = 100_000):
+        self.max_entries = int(max_entries)
+        self._entries: List[Dict] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def append(self, body: Dict) -> None:
+        with self._lock:
+            self._entries.append(body)
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(0)
+                self._dropped += 1
+
+    def entries(self) -> List[Dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "truncated": self._dropped > 0,
+                "dropped": self._dropped,
+            }
+
+
+class WorkerRef:
+    """A router-side handle on one shard worker."""
+
+    def __init__(self, url: str, shard: EntityShard, timeout: float = 30.0):
+        self.shard = shard
+        self.alive = True
+        self._lock = threading.Lock()
+        self.set_url(url, timeout=timeout)
+
+    def set_url(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.client = ServingClient(self.url, timeout=timeout)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"url": self.url, "alive": self.alive, "shard": self.shard.as_dict()}
+
+
+class ClusterRouter:
+    """Scatter/gather core, independent of the HTTP frontend.
+
+    Args:
+        workers: ``(url, shard)`` pairs covering ``[0, num_entities)``.
+        timeout_s: per-leg scatter timeout (each leg retried once).
+        on_failure: called with the dead :class:`WorkerRef` after the
+            retry also fails — the supervisor hooks restarts in here.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Tuple[str, EntityShard]],
+        timeout_s: float = 30.0,
+        on_failure: Optional[Callable[[WorkerRef], None]] = None,
+    ):
+        if not workers:
+            raise ValueError("a cluster needs at least one worker")
+        self.timeout_s = float(timeout_s)
+        self.on_failure = on_failure
+        self.workers = [
+            WorkerRef(url, shard, timeout=timeout_s) for url, shard in workers
+        ]
+        self.journal = IngestJournal()
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.workers), thread_name_prefix="scatter"
+        )
+        registry = get_registry()
+        self._requests = registry.counter(
+            "repro_cluster_requests_total",
+            "Scatter legs issued per shard.",
+            labelnames=("shard",),
+        )
+        self._failures = registry.counter(
+            "repro_cluster_failures_total",
+            "Scatter legs that failed (after retry) per shard.",
+            labelnames=("shard",),
+        )
+        self._scatter_latency = registry.histogram(
+            "repro_cluster_scatter_seconds",
+            "Latency of individual scatter legs (successful).",
+            labelnames=("shard",),
+        )
+        self._gather_latency = registry.histogram(
+            "repro_cluster_gather_seconds",
+            "End-to-end scatter+merge latency per routed request.",
+            labelnames=("route",),
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+    def live_workers(self) -> List[WorkerRef]:
+        return [w for w in self.workers if w.alive]
+
+    def revive(self, worker: WorkerRef, url: Optional[str] = None) -> None:
+        """Put a restarted worker back into the scatter set."""
+        if url is not None:
+            worker.set_url(url, timeout=self.timeout_s)
+        worker.alive = True
+
+    def _call(self, worker: WorkerRef, path: str, body: Dict) -> Dict:
+        """One scatter leg: POST with a single retry, then mark dead.
+
+        Raises the final :class:`ServingError` after marking the worker
+        dead and notifying ``on_failure``.
+        """
+        shard_label = str(worker.shard.index)
+        self._requests.labels(shard=shard_label).inc()
+        last_error: Optional[Exception] = None
+        for attempt in (0, 1):
+            started = time.perf_counter()
+            try:
+                payload = worker.client.post(path, body)
+                self._scatter_latency.labels(shard=shard_label).observe(
+                    time.perf_counter() - started
+                )
+                return payload
+            except Exception as exc:
+                last_error = exc
+                if isinstance(exc, ServingError) and exc.status == 400:
+                    raise  # our request is malformed; retry cannot help
+        self._failures.labels(shard=shard_label).inc()
+        worker.alive = False
+        if self.on_failure is not None:
+            try:
+                self.on_failure(worker)
+            except Exception:  # supervisor bugs must not kill routing
+                pass
+        raise last_error
+
+    def _scatter(self, path: str, body: Dict) -> List[Tuple[WorkerRef, Optional[Dict]]]:
+        """POST ``body`` to every live worker; failed legs come back None."""
+        live = self.live_workers()
+        futures = [
+            (worker, self._pool.submit(self._call, worker, path, body))
+            for worker in live
+        ]
+        results: List[Tuple[WorkerRef, Optional[Dict]]] = []
+        for worker, future in futures:
+            try:
+                results.append((worker, future.result()))
+            except Exception:
+                results.append((worker, None))
+        return results
+
+    # ------------------------------------------------------------------
+    def ingest(self, body: Dict) -> Dict:
+        """Fan an ingest body to all workers; journal it on success."""
+        started = time.perf_counter()
+        with span("router.ingest"):
+            results = self._scatter("/ingest", body)
+        self._gather_latency.labels(route="/ingest").observe(
+            time.perf_counter() - started
+        )
+        ok = [r for _, r in results if r is not None]
+        if not ok:
+            raise ServingError(503, "no worker accepted the ingest")
+        self.journal.append(body)
+        merged = dict(ok[0])
+        missing = [w.shard.as_dict() for w, r in results if r is None]
+        if missing:
+            merged["partial"] = True
+            merged["missing_shards"] = missing
+        return merged
+
+    def predict(self, queries: Sequence[Dict], default_top_k: int = 10) -> Dict:
+        """Scatter the query list, merge per-shard top-ks into global top-ks."""
+        body = {"queries": list(queries), "top_k": int(default_top_k)}
+        started = time.perf_counter()
+        with span("router.predict", queries=len(queries)):
+            results = self._scatter("/decode", body)
+        answered = [(w, r) for w, r in results if r is not None]
+        missing = [w.shard.as_dict() for w, r in results if r is None]
+        if not answered:
+            raise ServingError(503, "no shard worker is reachable")
+
+        merged_rows = []
+        for qi, query in enumerate(queries):
+            k = int(query.get("top_k", default_top_k))
+            partials = []
+            for _, payload in answered:
+                row = payload["results"][qi]
+                partials.append(
+                    (
+                        np.asarray(row["entities"], dtype=np.int64),
+                        np.asarray(row["scores"], dtype=np.float64),
+                    )
+                )
+            ids, values = merge_topk(partials, k)
+            merged_rows.append(
+                {
+                    "subject": int(query["subject"]),
+                    "relation": int(query["relation"]),
+                    "inverse": bool(query.get("inverse", False)),
+                    "predictions": [
+                        {"entity": int(e), "score": float(v), "rank": i + 1}
+                        for i, (e, v) in enumerate(zip(ids, values))
+                    ],
+                }
+            )
+        self._gather_latency.labels(route="/predict").observe(
+            time.perf_counter() - started
+        )
+        response: Dict = {"results": merged_rows}
+        if missing:
+            response["partial"] = True
+            response["missing_shards"] = missing
+        return response
+
+    def health(self) -> Dict:
+        """Aggregate worker healths (probed live, marks dead on error)."""
+        workers = []
+        for worker in self.workers:
+            entry = worker.as_dict()
+            if worker.alive:
+                try:
+                    entry["health"] = worker.client.health()
+                except ServingError:
+                    worker.alive = False
+                    entry["alive"] = False
+            workers.append(entry)
+        live = sum(1 for w in self.workers if w.alive)
+        status = "ok" if live == len(self.workers) else ("degraded" if live else "down")
+        return {
+            "role": "cluster-router",
+            "status": status,
+            "workers": workers,
+            "live_workers": live,
+            "num_shards": len(self.workers),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": [w.as_dict() for w in self.workers],
+            "journal": self.journal.stats(),
+        }
+
+
+class RouterHandler(BaseJSONHandler):
+    """Same public routes as the single-process server."""
+
+    @property
+    def router(self) -> ClusterRouter:
+        return self.server.router
+
+    def routes(self):
+        return {
+            "GET /health": self._handle_health,
+            "GET /stats": self._handle_stats,
+            "POST /ingest": self._handle_ingest,
+            "POST /predict": self._handle_predict,
+        }
+
+    def _handle_health(self):
+        payload = self.router.health()
+        if self.server.draining:
+            payload["status"] = "draining"
+        return payload, 200
+
+    def _handle_stats(self):
+        return (
+            {"server": self.stats.snapshot(), "cluster": self.router.stats()},
+            200,
+        )
+
+    def _handle_ingest(self):
+        body = self._read_json()
+        if ("events" in body) == ("quads" in body):
+            raise BadRequest("provide exactly one of 'events' (with 'timestamp') or 'quads'")
+        if "events" in body and "timestamp" not in body:
+            raise BadRequest("'events' requires a 'timestamp'")
+        try:
+            return self.router.ingest(body), 200
+        except ServingError as exc:
+            return {"error": str(exc)}, 503
+
+    def _handle_predict(self):
+        body = self._read_json()
+        single = "queries" not in body
+        if single:
+            if "subject" not in body or "relation" not in body:
+                raise BadRequest("'subject' and 'relation' are required")
+            queries = [
+                {
+                    "subject": int(body["subject"]),
+                    "relation": int(body["relation"]),
+                    "inverse": bool(body.get("inverse", False)),
+                    "top_k": int(body.get("top_k", 10)),
+                }
+            ]
+        else:
+            queries = body["queries"]
+            if not isinstance(queries, list) or not queries:
+                raise BadRequest("'queries' must be a non-empty list")
+            for q in queries:
+                if not isinstance(q, dict) or "subject" not in q or "relation" not in q:
+                    raise BadRequest("each query needs 'subject' and 'relation'")
+        try:
+            response = self.router.predict(queries, default_top_k=int(body.get("top_k", 10)))
+        except ServingError as exc:
+            return {"error": str(exc)}, 503
+        if single:
+            row = dict(response["results"][0])
+            for key in ("partial", "missing_shards"):
+                if key in response:
+                    row[key] = response[key]
+            return row, 200
+        return response, 200
+
+
+class RouterServer(DrainableHTTPServer):
+    """HTTP frontend owning a :class:`ClusterRouter`."""
+
+    def __init__(self, address, router: ClusterRouter, verbose: bool = False):
+        super().__init__(address, RouterHandler)
+        self.router = router
+        self.registry = get_registry()
+        self.stats = ServerStats(registry=self.registry)
+        self.verbose = verbose
+        health_counter(self.registry)
+
+    def server_close(self) -> None:
+        self.router.close()
+        super().server_close()
+
+
+def create_router_server(
+    router: ClusterRouter, host: str = "127.0.0.1", port: int = 8420, verbose: bool = False
+) -> RouterServer:
+    """Bind (but do not start) the router frontend; ``port=0`` auto-picks."""
+    return RouterServer((host, port), router, verbose=verbose)

@@ -17,13 +17,29 @@ Routes (see ``docs/serving.md`` for full request/response schemas):
 
 The server is a ``ThreadingHTTPServer``: concurrent ``/predict``
 requests are coalesced by the engine's micro-batcher.
+
+Two pieces here are deliberately generic so the cluster plane
+(:mod:`repro.serving.router`, :mod:`repro.serving.shard`) reuses them
+instead of reinventing HTTP plumbing:
+
+- :class:`BaseJSONHandler` — JSON body parsing, response encoding,
+  route dispatch with per-endpoint stats, and the drain-aware 503 on
+  mutating routes;
+- :class:`DrainableHTTPServer` — a ``ThreadingHTTPServer`` that counts
+  in-flight requests and supports graceful drain: ``begin_drain()``
+  flips ``/health`` to ``"draining"`` and rejects new work while
+  :meth:`~DrainableHTTPServer.drain` waits for in-flight requests to
+  finish.  :func:`run_with_graceful_shutdown` wires SIGTERM/SIGINT to
+  that sequence for the CLI entry points.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
@@ -41,16 +57,117 @@ class BadRequest(ValueError):
     """Client error: malformed JSON or invalid fields (HTTP 400)."""
 
 
-class ServingHandler(BaseHTTPRequestHandler):
-    """Route table + JSON plumbing; state lives on ``server``."""
+class DrainableHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server with in-flight tracking and graceful drain.
+
+    ``begin_drain()`` marks the server as draining: mutating routes
+    (see :attr:`BaseJSONHandler.drain_rejected`) start answering 503
+    while requests already past the door run to completion.
+    ``drain(timeout)`` blocks until the in-flight count reaches zero
+    (or the timeout passes) — after it returns, ``shutdown()`` +
+    ``server_close()`` cannot cut off a response mid-write.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, handler_class):
+        super().__init__(address, handler_class)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+        self._draining = threading.Event()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def begin_drain(self) -> None:
+        self._draining.set()
+
+    def request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight = max(0, self._inflight - 1)
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop accepting work and wait for in-flight requests; True if idle."""
+        self.begin_drain()
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._inflight_lock:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=min(remaining, 0.1))
+        return True
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def run_with_graceful_shutdown(server: DrainableHTTPServer, drain_timeout: float = 10.0):
+    """``serve_forever`` with SIGTERM/SIGINT mapped to drain-then-stop.
+
+    On the first signal the server flips to draining (503 on new work,
+    ``/health`` reports ``"draining"``), a helper thread waits out the
+    in-flight requests, and only then is the accept loop shut down.
+    Handlers are restored on exit so nested/serial servers in one
+    process (tests) do not leak signal state.  Must run on the main
+    thread (CPython restricts ``signal.signal`` to it); the caller
+    still owns ``server_close()``.
+    """
+
+    def _initiate(signum, frame):  # noqa: ARG001 - signal signature
+        if server.draining:
+            return  # second signal: drain already in progress
+        server.begin_drain()
+
+        def _finish():
+            server.drain(timeout=drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=_finish, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _initiate) for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+class BaseJSONHandler(BaseHTTPRequestHandler):
+    """JSON plumbing + route dispatch shared by every serving frontend.
+
+    Subclasses implement :meth:`routes` returning ``{"METHOD /path":
+    callable}`` where each callable returns ``(payload_dict, status)``.
+    ``GET /metrics`` is handled here (Prometheus text, not JSON)
+    whenever the server exposes a ``registry``.  While the server is
+    draining, routes listed in :attr:`drain_rejected` answer 503 so a
+    supervisor can drain a node without failing reads.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-serving"
 
-    # ------------------------------------------------------------------
-    @property
-    def engine(self) -> InferenceEngine:
-        return self.server.engine
+    #: Routes refused (503) once draining begins — mutating or
+    #: long-running work; health/stats/metrics stay available so the
+    #: drain itself is observable.
+    drain_rejected = ("POST /ingest", "POST /predict", "POST /decode")
 
     @property
     def stats(self) -> ServerStats:
@@ -91,13 +208,26 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def routes(self) -> Dict[str, object]:
+        """Route table: ``{"METHOD /path": handler}`` (override)."""
+        return {}
+
     # ------------------------------------------------------------------
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         name = f"{method} {path}"
         started = self.stats.timer()
+        tracked = hasattr(self.server, "request_started")
+        if tracked:
+            self.server.request_started()
         try:
-            if name == "GET /metrics":
+            if getattr(self.server, "draining", False) and name in self.drain_rejected:
+                self._send_json(
+                    {"error": "server is draining", "status": "draining"}, status=503
+                )
+                self.stats.record(name, started, error=True)
+                return
+            if name == "GET /metrics" and getattr(self.server, "registry", None) is not None:
                 # Prometheus exposition is plain text, not JSON.
                 with span("http.request", route=name):
                     self._send_text(
@@ -106,12 +236,7 @@ class ServingHandler(BaseHTTPRequestHandler):
                     )
                 self.stats.record(name, started)
                 return
-            handler = {
-                "GET /health": self._handle_health,
-                "GET /stats": self._handle_stats,
-                "POST /ingest": self._handle_ingest,
-                "POST /predict": self._handle_predict,
-            }.get(name)
+            handler = self.routes().get(name)
             if handler is None:
                 self._send_json({"error": f"unknown route {name!r}"}, status=404)
                 return
@@ -128,6 +253,9 @@ class ServingHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json({"error": f"internal error: {exc}"}, status=500)
             self.stats.record(name, started, error=True)
+        finally:
+            if tracked:
+                self.server.request_finished()
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         self._route("GET")
@@ -135,11 +263,28 @@ class ServingHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         self._route("POST")
 
+
+class ServingHandler(BaseJSONHandler):
+    """Single-process route table; state lives on ``server``."""
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> InferenceEngine:
+        return self.server.engine
+
+    def routes(self) -> Dict[str, object]:
+        return {
+            "GET /health": self._handle_health,
+            "GET /stats": self._handle_stats,
+            "POST /ingest": self._handle_ingest,
+            "POST /predict": self._handle_predict,
+        }
+
     # ------------------------------------------------------------------
     def _handle_health(self) -> Tuple[Dict, int]:
         return (
             {
-                "status": "ok",
+                "status": "draining" if self.server.draining else "ok",
                 "model": self.engine.model_key,
                 "num_entities": self.engine.store.num_entities,
                 "num_relations": self.engine.store.num_relations,
@@ -283,10 +428,8 @@ def _ledger_collector(registry: MetricsRegistry):
     return collect
 
 
-class ServingServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the engine + stats singletons."""
-
-    daemon_threads = True
+class ServingServer(DrainableHTTPServer):
+    """Drainable threading server carrying the engine + stats singletons."""
 
     def __init__(self, address, engine: InferenceEngine, verbose: bool = False):
         super().__init__(address, ServingHandler)
@@ -308,11 +451,6 @@ class ServingServer(ThreadingHTTPServer):
         self.registry.unregister_collector(self._collector)
         self.registry.unregister_collector(self._ledger_collector)
         super().server_close()
-
-    @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
 
 
 def create_server(

@@ -1,0 +1,246 @@
+"""Entity-range decode workers for the sharded serving cluster.
+
+A cluster worker owns one contiguous slice ``[lo, hi)`` of the entity
+vocabulary.  It ingests the *full* event stream (history is global —
+every shard needs the same windows and encoder states), but decodes
+queries only against its own candidate slice through the global decode
+tile grid (:func:`repro.core.execution.candidate_scores_range`), so the
+scores it returns are bitwise-identical (float64) to the corresponding
+columns of a single-process decode.
+
+Pieces:
+
+- :class:`EntityShard` / :func:`partition_entities` — the contiguous
+  near-equal partition of ``[0, num_entities)``; shard ``i`` of ``n``
+  is a pure function of ``(num_entities, n, i)``, so router and workers
+  derive identical tables independently.
+- :class:`ShardEngine` — an :class:`~repro.serving.engine.InferenceEngine`
+  whose decode is restricted to the shard's range, plus a
+  ``partial_topk`` entry point returning the shard-local canonical
+  top-k (global entity ids) and a decode busy-time counter
+  (``repro_shard_decode_seconds_total{shard}``) that the scaling
+  benchmark uses to measure per-worker compute.
+- :class:`ShardWorkerServer` / :class:`ShardWorkerHandler` — the
+  worker's HTTP face: the standard ``/health /stats /metrics /ingest``
+  plus ``POST /decode`` for the router's scatter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.execution import topk_ranked
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.serving.engine import InferenceEngine
+from repro.serving.server import (
+    BadRequest,
+    BaseJSONHandler,
+    DrainableHTTPServer,
+)
+from repro.serving.stats import ServerStats
+from repro.serving.store import OnlineHistoryStore
+
+
+@dataclass(frozen=True)
+class EntityShard:
+    """One contiguous slice of the entity id space."""
+
+    index: int
+    num_shards: int
+    lo: int
+    hi: int
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "index": self.index,
+            "num_shards": self.num_shards,
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+
+
+def partition_entities(num_entities: int, num_shards: int) -> List[EntityShard]:
+    """Split ``[0, num_entities)`` into ``num_shards`` contiguous ranges.
+
+    The first ``num_entities % num_shards`` shards are one entity wider;
+    shards beyond the vocabulary (more shards than entities) come back
+    empty rather than failing, so tests can probe degenerate counts.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    base, rem = divmod(int(num_entities), int(num_shards))
+    shards, lo = [], 0
+    for i in range(num_shards):
+        width = base + (1 if i < rem else 0)
+        shards.append(EntityShard(index=i, num_shards=num_shards, lo=lo, hi=lo + width))
+        lo += width
+    return shards
+
+
+class ShardEngine(InferenceEngine):
+    """Inference engine that decodes only its entity shard.
+
+    Identical to the base engine except :meth:`_score_range` returns the
+    shard slice — the cached score vectors, the micro-batcher, and the
+    prediction-cache keys all operate on shard-local score arrays whose
+    columns are bitwise sub-arrays of the full decode.
+    """
+
+    def __init__(self, model, store: OnlineHistoryStore, shard: EntityShard, **kwargs):
+        super().__init__(model, store, **kwargs)
+        self.shard = shard
+        self.decode_busy_s = 0.0
+        self.decode_calls = 0
+        shard_label = str(shard.index)
+        self._busy_counter = get_registry().counter(
+            "repro_shard_decode_seconds_total",
+            "Cumulative decode busy time per shard.",
+            labelnames=("shard",),
+        ).labels(shard=shard_label)
+        self._decode_requests = get_registry().counter(
+            "repro_shard_decode_requests_total",
+            "Decode (scatter) requests served per shard.",
+            labelnames=("shard",),
+        ).labels(shard=shard_label)
+
+    def _score_range(self) -> Tuple[int, int]:
+        return self.shard.lo, self.shard.hi
+
+    def partial_topk(
+        self, queries: Sequence[Dict], default_top_k: int = 10
+    ) -> List[Dict[str, object]]:
+        """Shard-local canonical top-k per query, in global entity ids.
+
+        Each query contributes its top ``min(k, shard width)`` — enough
+        that the union over shards provably contains the global top-k
+        (any entity in the global top-k ranks top-k within its own
+        shard).  Scores are raw float64; the router merges with
+        :func:`repro.core.execution.merge_topk`.
+        """
+        parsed = [
+            (
+                self._checked_pair(q["subject"], q["relation"], bool(q.get("inverse", False))),
+                int(q.get("top_k", default_top_k)),
+            )
+            for q in queries
+        ]
+        self._queries_served += len(parsed)
+        started = time.perf_counter()
+        with span("shard.decode", shard=self.shard.index, batch=len(parsed)):
+            score_map = self._execute_batch([pair for pair, _ in parsed])
+            rows = []
+            for pair, k in parsed:
+                ids, values = topk_ranked(score_map[pair], k, base=self.shard.lo)
+                rows.append(
+                    {"entities": ids.tolist(), "scores": values.tolist()}
+                )
+        elapsed = time.perf_counter() - started
+        self.decode_busy_s += elapsed
+        self.decode_calls += 1
+        self._busy_counter.inc(elapsed)
+        self._decode_requests.inc()
+        return rows
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base["shard"] = self.shard.as_dict()
+        base["decode_busy_s"] = round(self.decode_busy_s, 6)
+        base["decode_calls"] = self.decode_calls
+        return base
+
+
+class ShardWorkerHandler(BaseJSONHandler):
+    """Worker route table: base surface plus the scatter ``/decode``."""
+
+    @property
+    def engine(self) -> ShardEngine:
+        return self.server.engine
+
+    def routes(self):
+        return {
+            "GET /health": self._handle_health,
+            "GET /stats": self._handle_stats,
+            "POST /ingest": self._handle_ingest,
+            "POST /decode": self._handle_decode,
+        }
+
+    def _handle_health(self):
+        shard = self.engine.shard
+        return (
+            {
+                "status": "draining" if self.server.draining else "ok",
+                "role": "shard-worker",
+                "model": self.engine.model_key,
+                "shard": shard.as_dict(),
+                "num_entities": self.engine.store.num_entities,
+                "num_relations": self.engine.store.num_relations,
+                "window_version": self.engine.store.window_version,
+                "current_time": self.engine.store.current_time,
+            },
+            200,
+        )
+
+    def _handle_stats(self):
+        return ({"server": self.stats.snapshot(), "engine": self.engine.stats()}, 200)
+
+    def _handle_ingest(self):
+        body = self._read_json()
+        if ("events" in body) == ("quads" in body):
+            raise BadRequest("provide exactly one of 'events' (with 'timestamp') or 'quads'")
+        if "events" in body:
+            if "timestamp" not in body:
+                raise BadRequest("'events' requires a 'timestamp'")
+            result = self.engine.ingest(body["events"], timestamp=int(body["timestamp"]))
+        else:
+            result = self.engine.ingest(body["quads"])
+        if body.get("flush"):
+            result["flushed"] = self.engine.flush()
+            result["window_version"] = self.engine.store.window_version
+            result["pending_events"] = self.engine.store.pending_events
+        return result, 200
+
+    def _handle_decode(self):
+        body = self._read_json()
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise BadRequest("'queries' must be a non-empty list")
+        for q in queries:
+            if not isinstance(q, dict) or "subject" not in q or "relation" not in q:
+                raise BadRequest("each query needs 'subject' and 'relation'")
+        rows = self.engine.partial_topk(queries, default_top_k=int(body.get("top_k", 10)))
+        shard = self.engine.shard
+        return (
+            {
+                "shard": shard.index,
+                "lo": shard.lo,
+                "hi": shard.hi,
+                "window_version": self.engine.store.window_version,
+                "results": rows,
+            },
+            200,
+        )
+
+
+class ShardWorkerServer(DrainableHTTPServer):
+    """HTTP frontend of one decode worker."""
+
+    def __init__(self, address, engine: ShardEngine, verbose: bool = False):
+        super().__init__(address, ShardWorkerHandler)
+        self.engine = engine
+        self.registry = get_registry()
+        self.stats = ServerStats(registry=self.registry)
+        self.verbose = verbose
+
+
+def create_worker_server(
+    engine: ShardEngine, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> ShardWorkerServer:
+    """Bind (but do not start) a shard worker; ``port=0`` auto-picks."""
+    return ShardWorkerServer((host, port), engine, verbose=verbose)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.tensor import Tensor, concat, ensure_tensor, no_grad, stack, where
+from repro.nn.tensor import Tensor, concat, ensure_tensor, is_grad_enabled, no_grad, stack, where
 from tests.conftest import check_gradients
 
 
@@ -231,6 +231,60 @@ class TestGraphMechanics:
         with no_grad():
             y = x * 3
         assert not y.requires_grad
+
+    def test_no_grad_is_thread_local(self):
+        # grad mode must be per-thread: a serving thread inside no_grad()
+        # must not disable autograd for a training thread, and concurrent
+        # enter/exit must not corrupt the restored state (a process-global
+        # flag fails both — save/restore interleaves across threads)
+        import threading
+
+        inside = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def hold_no_grad():
+            with no_grad():
+                seen["worker_inside"] = is_grad_enabled()
+                inside.set()
+                release.wait(timeout=10)
+            seen["worker_after"] = is_grad_enabled()
+
+        worker = threading.Thread(target=hold_no_grad)
+        worker.start()
+        assert inside.wait(timeout=10)
+        try:
+            # worker is inside no_grad(); this thread is unaffected
+            assert is_grad_enabled()
+            x = Tensor([1.0], requires_grad=True)
+            assert x.requires_grad
+            (x * 2).backward()
+            assert x.grad[0] == pytest.approx(2.0)
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert seen["worker_inside"] is False
+        assert seen["worker_after"] is True
+
+        # interleaved enter/exit across many threads leaves every thread
+        # (and this one) with grad enabled afterwards
+        barrier = threading.Barrier(4)
+        results = []
+
+        def churn():
+            for _ in range(50):
+                with no_grad():
+                    barrier.wait(timeout=10)
+                    assert not is_grad_enabled()
+            results.append(is_grad_enabled())
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert results == [True] * 4
+        assert is_grad_enabled()
 
     def test_detach_cuts_graph(self):
         x = Tensor([1.0], requires_grad=True)

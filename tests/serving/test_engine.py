@@ -126,6 +126,30 @@ class TestCache:
         engine.predict(0, 1)
         assert engine.stats()["predict_calls"] == calls + 1
 
+    def test_hot_reload_invalidates_same_window_version(
+        self, tmp_path, tiny_dataset
+    ):
+        # regression: the cache key once ignored model.version, so a
+        # weight reload with an unchanged window served stale scores
+        _, path = _checkpoint(tmp_path)
+        engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)
+        engine.store.warm_up(tiny_dataset.train)
+        before = engine.predict(0, 1, top_k=5)
+        window_version = engine.store.window_version
+        fresh = build_model("distmult", 25, 5, dim=8)
+        new_path = str(tmp_path / "retrained.npz")
+        save_checkpoint(fresh, new_path)
+        info = engine.reload_weights(new_path)
+        assert info["model_version"] > 0
+        assert engine.store.window_version == window_version  # no rollover
+        after = engine.predict(0, 1, top_k=5)
+        assert after != before  # new weights, not the cached response
+        # and the answer matches an engine that never saw the old weights
+        control = InferenceEngine(
+            fresh, engine.store, model_key="distmult", batch_window_s=0.0
+        )
+        assert after == control.predict(0, 1, top_k=5)
+
     def test_predict_many_single_forward_pass(self, tmp_path, tiny_dataset):
         _, path = _checkpoint(tmp_path)
         engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)

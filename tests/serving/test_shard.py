@@ -1,0 +1,130 @@
+"""Entity sharding: partition, tiled range decode, top-k merge parity.
+
+The load-bearing property of the cluster: for every shard count, the
+merge of per-shard canonical top-ks equals the single-process top-k
+*bitwise* — including ties, k larger than a shard, and shards wider
+than the decode tile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.execution import (
+    DECODE_TILE,
+    candidate_scores_range,
+    merge_topk,
+    topk_ranked,
+)
+from repro.serving.shard import EntityShard, partition_entities
+
+
+class TestPartition:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_covers_exactly_without_overlap(self, num_shards):
+        shards = partition_entities(30, num_shards)
+        assert len(shards) == num_shards
+        assert shards[0].lo == 0
+        assert shards[-1].hi == 30
+        for prev, nxt in zip(shards, shards[1:]):
+            assert prev.hi == nxt.lo
+        widths = [s.width for s in shards]
+        assert max(widths) - min(widths) <= 1  # near-equal
+
+    def test_more_shards_than_entities(self):
+        shards = partition_entities(3, 5)
+        assert [s.width for s in shards] == [1, 1, 1, 0, 0]
+        assert shards[-1].hi == 3
+
+    def test_deterministic_pure_function(self):
+        assert partition_entities(1000, 7) == partition_entities(1000, 7)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            partition_entities(10, 0)
+
+    def test_shard_roundtrips_through_dict(self):
+        shard = partition_entities(30, 4)[2]
+        assert EntityShard(**shard.as_dict()) == shard
+
+
+class TestTiledRangeScores:
+    """Range decode must be a bitwise sub-array of the full decode."""
+
+    @pytest.mark.parametrize("num_entities", [50, DECODE_TILE - 1, DECODE_TILE + 37])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_shard_slices_match_full_range(self, num_entities, num_shards, rng):
+        queries = rng.standard_normal((5, 16))
+        candidates = rng.standard_normal((num_entities, 16))
+        full = candidate_scores_range(queries, candidates, 0, num_entities)
+        for shard in partition_entities(num_entities, num_shards):
+            piece = candidate_scores_range(queries, candidates, shard.lo, shard.hi)
+            assert piece.shape == (5, shard.width)
+            # bitwise, not allclose: the global tile grid guarantees it
+            assert np.array_equal(piece, full[:, shard.lo:shard.hi])
+
+    def test_empty_range(self, rng):
+        queries = rng.standard_normal((3, 8))
+        candidates = rng.standard_normal((20, 8))
+        assert candidate_scores_range(queries, candidates, 10, 10).shape == (3, 0)
+
+
+class TestTopkRanked:
+    def test_canonical_tie_break_is_lowest_id_first(self):
+        scores = np.array([1.0, 5.0, 5.0, 0.0, 5.0])
+        ids, values = topk_ranked(scores, 3)
+        assert ids.tolist() == [1, 2, 4]  # equal scores -> ascending ids
+        assert values.tolist() == [5.0, 5.0, 5.0]
+
+    def test_k_clamped_to_size(self):
+        ids, values = topk_ranked(np.array([3.0, 1.0]), 10)
+        assert ids.tolist() == [0, 1]
+
+    def test_base_offsets_into_global_ids(self):
+        ids, _ = topk_ranked(np.array([1.0, 9.0]), 1, base=100)
+        assert ids.tolist() == [101]
+
+    def test_empty_scores(self):
+        ids, values = topk_ranked(np.zeros(0), 3)
+        assert ids.size == 0 and values.size == 0
+
+
+class TestMergeParity:
+    """merge(per-shard top-k) == global top-k, bitwise, for all layouts."""
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    @pytest.mark.parametrize("k", [1, 3, 10, 29])
+    def test_merge_equals_global_topk(self, num_shards, k, rng):
+        num_entities = 30  # k=10 exceeds every 7-shard width (<=5)
+        for _ in range(20):
+            scores = rng.standard_normal(num_entities)
+            expected_ids, expected_vals = topk_ranked(scores, k)
+            partials = [
+                topk_ranked(
+                    scores[s.lo:s.hi], min(k, max(s.width, 1)), base=s.lo
+                )
+                for s in partition_entities(num_entities, num_shards)
+                if s.width > 0
+            ]
+            ids, vals = merge_topk(partials, k)
+            assert ids.tolist() == expected_ids.tolist()
+            # exact float equality — values pass through untouched
+            assert vals.tolist() == expected_vals.tolist()
+
+    @pytest.mark.parametrize("num_shards", [2, 4, 7])
+    def test_merge_with_heavy_ties(self, num_shards, rng):
+        # quantised scores force many exact ties across shard borders
+        for _ in range(20):
+            scores = np.round(rng.standard_normal(30) * 2) / 2
+            expected_ids, expected_vals = topk_ranked(scores, 9)
+            partials = [
+                topk_ranked(scores[s.lo:s.hi], min(9, s.width), base=s.lo)
+                for s in partition_entities(30, num_shards)
+                if s.width > 0
+            ]
+            ids, vals = merge_topk(partials, 9)
+            assert ids.tolist() == expected_ids.tolist()
+            assert vals.tolist() == expected_vals.tolist()
+
+    def test_merge_of_empty_partials(self):
+        ids, vals = merge_topk([(np.zeros(0, dtype=np.int64), np.zeros(0))], 5)
+        assert ids.size == 0

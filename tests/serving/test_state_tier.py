@@ -1,0 +1,185 @@
+"""Shared encoder-state tier: round-trip, single-flight, fallback."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.core.config import WindowConfig
+from repro.serving import (
+    OnlineHistoryStore,
+    SharedEncoderStateStore,
+    TieredStateCache,
+)
+
+
+@pytest.fixture
+def window(tiny_dataset):
+    store = OnlineHistoryStore(
+        tiny_dataset.num_entities,
+        tiny_dataset.num_relations,
+        window_config=WindowConfig(history_length=2),
+    )
+    store.warm_up(tiny_dataset.train)
+    queries = np.zeros((1, 4), dtype=np.int64)
+    return store.window_for(queries)
+
+
+@pytest.fixture
+def model(tiny_dataset):
+    return build_model(
+        "regcn", tiny_dataset.num_entities, tiny_dataset.num_relations, dim=8
+    )
+
+
+class _CountingModel:
+    """Wraps a model to count live encodes (split protocol preserved)."""
+
+    supports_encode_split = True
+
+    def __init__(self, model):
+        self._model = model
+        self.encodes = 0
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def encode(self, window):
+        self.encodes += 1
+        return self._model.encode(window)
+
+
+class TestRoundTrip:
+    def test_store_load_bitwise(self, tmp_path, model, window):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t")
+        state = model.encode(window)
+        key = ("regcn", 0, "float64", window.fingerprint())
+        assert tier.store(key, state)
+        loaded = tier.load(key)
+        assert loaded is not None
+        np.testing.assert_array_equal(
+            loaded.entity_matrix.data, state.entity_matrix.data
+        )
+        np.testing.assert_array_equal(
+            loaded.relation_matrix.data, state.relation_matrix.data
+        )
+        assert loaded.entity_matrix.data.dtype == np.float64
+        assert loaded.prediction_time == state.prediction_time
+
+    def test_load_missing_key(self, tmp_path):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t")
+        assert tier.load(("nope", 0, "float64", 123)) is None
+
+    def test_digest_collision_degrades_to_miss(self, tmp_path, model, window):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t")
+        key = ("regcn", 0, "float64", window.fingerprint())
+        tier.store(key, model.encode(window))
+        # same file path forged for a different key must not serve
+        other = ("regcn", 1, "float64", window.fingerprint())
+        os.rename(tier.path_for(key), tier.path_for(other))
+        assert tier.load(other) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, model, window):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t")
+        key = ("regcn", 0, "float64", window.fingerprint())
+        tier.store(key, model.encode(window))
+        with open(tier.path_for(key), "wb") as handle:
+            handle.write(b"not an npz")
+        assert tier.load(key) is None
+
+
+class TestLocking:
+    def test_acquire_release_cycle(self, tmp_path):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t")
+        key = ("m", 0, "float64", 1)
+        assert tier.try_acquire(key)
+        assert not tier.try_acquire(key)  # held
+        tier.release(key)
+        assert tier.try_acquire(key)
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t", lock_stale_s=0.0)
+        key = ("m", 0, "float64", 1)
+        assert tier.try_acquire(key)
+        # age 0 > stale 0 is false; force the mtime into the past
+        past = os.path.getmtime(tier._lock_path(key)) - 10
+        os.utime(tier._lock_path(key), (past, past))
+        assert tier.try_acquire(key)  # broke the stale lock and re-claimed
+
+    def test_wait_for_returns_published_state(self, tmp_path, model, window):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t", lock_timeout_s=5.0)
+        key = ("regcn", 0, "float64", window.fingerprint())
+        assert tier.try_acquire(key)
+        state = model.encode(window)
+
+        def publish():
+            tier.store(key, state)
+            tier.release(key)
+
+        timer = threading.Timer(0.05, publish)
+        timer.start()
+        try:
+            waited = tier.wait_for(key)
+        finally:
+            timer.join()
+        assert waited is not None
+        np.testing.assert_array_equal(
+            waited.entity_matrix.data, state.entity_matrix.data
+        )
+
+    def test_wait_for_gives_up_on_timeout(self, tmp_path):
+        tier = SharedEncoderStateStore(str(tmp_path), owner="t")
+        key = ("m", 0, "float64", 1)
+        assert tier.try_acquire(key)  # never published, never released
+        assert tier.wait_for(key, timeout=0.05) is None
+
+
+class TestTieredCache:
+    def test_second_cache_hits_tier_without_encoding(self, tmp_path, model, window):
+        counting = _CountingModel(model)
+        first = TieredStateCache(
+            SharedEncoderStateStore(str(tmp_path), owner="a"), owner="a"
+        )
+        second = TieredStateCache(
+            SharedEncoderStateStore(str(tmp_path), owner="b"), owner="b"
+        )
+        s1 = first.get_or_encode(counting, window, model_key="regcn")
+        assert counting.encodes == 1
+        assert first.tier.events["publish"] == 1
+        s2 = second.get_or_encode(counting, window, model_key="regcn")
+        assert counting.encodes == 1  # tier hit, no second encode
+        assert second.tier.events["hit"] == 1
+        np.testing.assert_array_equal(s1.entity_matrix.data, s2.entity_matrix.data)
+
+    def test_memory_hit_never_touches_tier(self, tmp_path, model, window):
+        cache = TieredStateCache(
+            SharedEncoderStateStore(str(tmp_path), owner="a"), owner="a"
+        )
+        cache.get_or_encode(model, window, model_key="regcn")
+        events_before = dict(cache.tier.events)
+        cache.get_or_encode(model, window, model_key="regcn")
+        assert cache.hits == 1
+        assert cache.tier.events == events_before
+
+    def test_lock_loser_falls_back_to_local_encode(self, tmp_path, model, window):
+        counting = _CountingModel(model)
+        tier = SharedEncoderStateStore(str(tmp_path), owner="a", lock_timeout_s=0.05)
+        cache = TieredStateCache(tier, owner="a")
+        # an unrelated process "holds" the single-flight lock and stalls
+        key = cache._key(counting, "regcn", window.fingerprint())
+        assert tier.try_acquire(key)
+        state = cache.get_or_encode(counting, window, model_key="regcn")
+        assert state is not None
+        assert counting.encodes == 1  # encoded locally despite losing the lock
+        assert tier.events["fallback"] == 1
+
+    def test_stats_include_tier(self, tmp_path, model, window):
+        cache = TieredStateCache(
+            SharedEncoderStateStore(str(tmp_path), owner="a"), owner="a"
+        )
+        cache.get_or_encode(model, window, model_key="regcn")
+        stats = cache.stats()
+        assert stats["tier"]["entries"] == 1
+        assert stats["tier"]["events"]["publish"] == 1
