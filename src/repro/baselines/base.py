@@ -52,6 +52,12 @@ class TKGBaseline(Module):
     #: Split subclasses (real encode/decode) flip this to True; fused
     #: models keep False and go through the carry-the-window shim.
     supports_encode_split = False
+    #: Graph-encoder subclasses whose ``encode`` reads window graphs
+    #: through :meth:`HistoryWindow.scope_entities` flip this to True;
+    #: the :class:`~repro.core.execution.ScopedExecutionPlan` passes
+    #: everything else (fused models, static embedders) through to the
+    #: full-graph plan.
+    supports_query_scoping = False
 
     def __init__(self, num_entities: int, num_relations: int):
         super().__init__()
@@ -102,13 +108,49 @@ class TKGBaseline(Module):
         return make_state(self, window, entity_matrix, relation_matrix, aux=aux)
 
     # ------------------------------------------------------------------
+    # query-scoped (sampled) execution hooks
+    # ------------------------------------------------------------------
+    def scoped_reference_matrix(self) -> Tensor:
+        """Full-entity reference rows for scoped decodes.
+
+        When the sampler restricts an encode to the query batch's fan-in
+        closure, out-of-closure candidates still need *some* row in the
+        decode matmul; the scoped plan scatters the encoded closure over
+        this matrix (default: the initial entity embedding table — rows
+        the evolution would have started from anyway).
+        """
+        return self.entity.all()
+
+    def aux_entity_slots(self, state: EncoderState) -> Tuple[int, ...]:
+        """Indices into ``state.aux`` holding per-entity matrices.
+
+        The scoped plan scatters these slots to full entity space along
+        with ``entity_matrix``; everything else in ``aux`` (relation
+        tables, mixing weights) passes through untouched.
+        """
+        return ()
+
+    # ------------------------------------------------------------------
     def score_entities(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         if self.supports_encode_split:
             return self.decode(self.encode(window), queries)
         raise NotImplementedError
 
+    def decode_loss(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        """Training objective given an (grad-live) encoder state.
+
+        Split models route :meth:`loss` through here so the scoped plan
+        can reuse the exact same objective on a scattered state during
+        sampled training.  Default: cross-entropy on the target objects;
+        joint models override with their combined objective.
+        """
+        queries = np.asarray(queries, dtype=np.int64)
+        return cross_entropy(self.decode(state, queries), queries[:, 2])
+
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
+        if self.supports_encode_split:
+            return self.decode_loss(self.encode(window), queries)
         logits = self.score_entities(window, queries)
         return cross_entropy(logits, queries[:, 2])
 

@@ -30,6 +30,7 @@ class CEN(TKGBaseline):
 
     requirements = ModelRequirements(recent_snapshots=True)
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(
         self,
@@ -60,15 +61,20 @@ class CEN(TKGBaseline):
 
     def encode(self, window: HistoryWindow) -> EncoderState:
         """Run every per-length encoder once; matrices ride in ``aux``."""
+        e_init = window.scope_entities(self.entity.all())
         aux = []
         for length in self.lengths:
             snapshots = window.snapshots[-length:] if length else []
             deltas = window.deltas[-length:]
             entity_matrix, _, relation_matrix = self.encoder(
-                self.entity.all(), self.relation.all(), snapshots, [], deltas
+                e_init, self.relation.all(), snapshots, [], deltas
             )
             aux.extend((entity_matrix, relation_matrix))
         return self._make_state(window, None, None, aux=tuple(aux))
+
+    def aux_entity_slots(self, state: EncoderState) -> tuple:
+        """Even slots are the per-length entity matrices (odd: relations)."""
+        return tuple(range(0, len(state.aux), 2))
 
     def decode(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)

@@ -39,6 +39,7 @@ class HGLS(TKGBaseline):
 
     requirements = ModelRequirements(recent_snapshots=True)
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(
         self,
@@ -98,17 +99,27 @@ class HGLS(TKGBaseline):
                     self._memory_seen[node] = True
 
     def encode(self, window: HistoryWindow) -> EncoderState:
-        # lazily absorb the newest snapshot into the long-term memory
-        if window.snapshots:
+        # lazily absorb the newest snapshot into the long-term memory —
+        # but never from a scoped window: its snapshots carry *local*
+        # entity ids and sampled edge subsets, either of which would
+        # corrupt the global EMA.  The chronological walk that owns the
+        # memory always also encodes the full window.
+        if window.snapshots and not window.is_scoped:
             newest = window.snapshots[-1]
             quads = np.stack(
                 [newest.src, newest.rel, newest.dst, np.zeros_like(newest.src)], axis=1
             )
             self.observe(quads)
         e_short, _, relation_matrix = self.short_encoder(
-            self.entity.all(), self.relation.all(), window.snapshots, [], window.deltas
+            window.scope_entities(self.entity.all()),
+            self.relation.all(),
+            window.snapshots,
+            [],
+            window.deltas,
         )
-        long_term = Tensor(self._memory)
+        long_term = Tensor(
+            self._memory if not window.is_scoped else self._memory[window.local_nodes]
+        )
         gate = self.fuse_gate(e_short).sigmoid()
         fused = gate * e_short + (1.0 - gate) * long_term
         return self._make_state(window, fused, relation_matrix)
@@ -125,9 +136,8 @@ class HGLS(TKGBaseline):
         o = state.entity_matrix.index_select(queries[:, 2])
         return self.relation_decoder(s, o, state.relation_matrix)
 
-    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode_loss(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        state = self.encode(window)
         entity_logits = self.decode(state, queries)
         relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(

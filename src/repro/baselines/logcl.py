@@ -65,6 +65,7 @@ class LogCL(TKGBaseline):
 
     requirements = ModelRequirements(recent_snapshots=True, global_graph=True)
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(
         self,
@@ -102,7 +103,11 @@ class LogCL(TKGBaseline):
     def encode(self, window: HistoryWindow) -> EncoderState:
         """Both views; fused is the main matrix, (local, global) ride in aux."""
         e_local, _, relation_matrix = self.local_encoder(
-            self.entity.all(), self.relation.all(), window.snapshots, [], window.deltas
+            window.scope_entities(self.entity.all()),
+            self.relation.all(),
+            window.snapshots,
+            [],
+            window.deltas,
         )
         e_global = e_local
         if window.global_graph is not None:
@@ -136,9 +141,12 @@ class LogCL(TKGBaseline):
         targets = np.arange(len(nodes))
         return cross_entropy(sim, targets)
 
-    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def aux_entity_slots(self, state: EncoderState) -> tuple:
+        """Both aux slots are per-entity views (local, global)."""
+        return (0, 1)
+
+    def decode_loss(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        state = self.encode(window)
         e_local, e_global = state.aux
         entity_logits = self.decode(state, queries)
         relation_logits = self.decode_relations(state, queries)

@@ -29,6 +29,7 @@ class REGCN(TKGBaseline):
 
     requirements = ModelRequirements(recent_snapshots=True)
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(
         self,
@@ -59,7 +60,11 @@ class REGCN(TKGBaseline):
 
     def encode(self, window: HistoryWindow) -> EncoderState:
         e, _, r = self.encoder(
-            self.entity.all(), self.relation.all(), window.snapshots, [], window.deltas
+            window.scope_entities(self.entity.all()),
+            self.relation.all(),
+            window.snapshots,
+            [],
+            window.deltas,
         )
         return self._make_state(window, e, r)
 
@@ -84,9 +89,8 @@ class REGCN(TKGBaseline):
         o = state.entity_matrix.index_select(queries[:, 2])
         return self.relation_decoder(s, o, state.relation_matrix)
 
-    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode_loss(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        state = self.encode(window)
         entity_logits = self.decode(state, queries)
         relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(

@@ -28,6 +28,7 @@ class RENet(TKGBaseline):
 
     requirements = ModelRequirements(recent_snapshots=True)
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(self, num_entities: int, num_relations: int, dim: int = 32, dropout: float = 0.1):
         super().__init__(num_entities, num_relations)
@@ -52,7 +53,7 @@ class RENet(TKGBaseline):
         return F.tanh(pooled)
 
     def encode(self, window: HistoryWindow) -> EncoderState:
-        state = self.entity.all()
+        state = window.scope_entities(self.entity.all())
         for graph in window.snapshots:
             aggregated = self._aggregate(state, graph)
             state = self.gru(aggregated, state)

@@ -33,6 +33,7 @@ class RETIA(TKGBaseline):
 
     requirements = ModelRequirements(recent_snapshots=True)
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(
         self,
@@ -72,7 +73,7 @@ class RETIA(TKGBaseline):
         return cached
 
     def encode(self, window: HistoryWindow) -> EncoderState:
-        e_state = l2_normalize_rows(self.entity.all())
+        e_state = l2_normalize_rows(window.scope_entities(self.entity.all()))
         r_state = self.relation.all()
         modes = self.mode_embedding.all()
         for graph in window.snapshots:
@@ -95,9 +96,8 @@ class RETIA(TKGBaseline):
         o = state.entity_matrix.index_select(queries[:, 2])
         return self.relation_decoder(s, o, state.relation_matrix)
 
-    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+    def decode_loss(self, state: EncoderState, queries: np.ndarray) -> Tensor:
         queries = np.asarray(queries, dtype=np.int64)
-        state = self.encode(window)
         entity_logits = self.decode(state, queries)
         relation_logits = self.decode_relations(state, queries)
         return cross_entropy(entity_logits, queries[:, 2]) * self.alpha + cross_entropy(

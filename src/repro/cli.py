@@ -98,6 +98,8 @@ def cmd_train(args) -> int:
         patience=args.patience,
         learning_rate=args.lr,
         seed=args.seed,
+        sampler=args.sampler,
+        graph_cache_entries=args.graph_cache_entries,
     )
     try:
         row = run_model_on_dataset(
@@ -141,6 +143,8 @@ def cmd_eval(args) -> int:
     model.eval()
     window = meta.get("window") or {}
     overrides = {} if "history_length" in window else {"history_length": args.history_length}
+    if args.graph_cache_entries is not None:
+        overrides["cache_entries"] = args.graph_cache_entries
     window_config = WindowConfig.from_dict(window, **overrides)
     builder = window_config.build(dataset.num_entities, dataset.num_relations)
     evaluator = TimelineEvaluator(dataset)
@@ -199,6 +203,8 @@ def _build_engine(args):
         cache_entries=args.cache_entries,
         batch_window_s=args.batch_window_ms / 1e3,
         state_cache_entries=args.state_cache_entries,
+        scoped_cold_start=getattr(args, "scoped_cold_start", None),
+        graph_cache_entries=getattr(args, "graph_cache_entries", None),
     )
     _warm_store(engine.store, args.warmup, args.warmup_splits)
     return engine
@@ -219,6 +225,7 @@ def _cluster_config(args):
         cache_entries=args.cache_entries,
         state_cache_entries=args.state_cache_entries,
         batch_window_ms=args.batch_window_ms,
+        graph_cache_entries=getattr(args, "graph_cache_entries", None),
         verbose=args.verbose,
     )
 
@@ -248,10 +255,49 @@ def _run_cluster(args) -> int:
     return 0
 
 
+def _run_router_only(args) -> int:
+    """Front pre-spawned workers: no subprocess spawn, no handshake.
+
+    ``--worker-urls`` names ``repro.cli cluster-worker`` processes that
+    are already running (other hosts, a process manager); their shard
+    assignments are read back from ``GET /health`` and validated to
+    tile the entity space before the router starts scattering.
+    """
+    from repro.serving import ClusterRouter, create_router_server
+    from repro.serving.cluster import attach_workers
+    from repro.serving.server import run_with_graceful_shutdown
+
+    urls = [u.strip() for u in args.worker_urls.split(",") if u.strip()]
+    try:
+        workers = attach_workers(urls)
+    except (RuntimeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    router = ClusterRouter(workers)
+    server = create_router_server(
+        router, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"cluster router at {server.url} fronting {len(workers)} "
+        "pre-spawned workers  (Ctrl-C to drain and stop)",
+        flush=True,
+    )
+    try:
+        run_with_graceful_shutdown(server)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serving import create_server
     from repro.serving.server import run_with_graceful_shutdown
 
+    if getattr(args, "worker_urls", None):
+        return _run_router_only(args)
+    if args.checkpoint is None:
+        raise SystemExit("serve needs a checkpoint (or --worker-urls)")
     if getattr(args, "workers", 1) > 1:
         return _run_cluster(args)
     if args.trace:
@@ -298,6 +344,7 @@ def cmd_cluster_worker(args) -> int:
         cache_entries=args.cache_entries,
         state_cache_entries=args.state_cache_entries,
         batch_window_s=args.batch_window_ms / 1e3,
+        graph_cache_entries=args.graph_cache_entries,
     )
     _warm_store(engine.store, args.warmup, args.warmup_splits)
     server = create_worker_server(engine, host=args.host, port=args.port)
@@ -641,6 +688,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3)
     p.add_argument("--save", default=None, metavar="PATH",
                    help="checkpoint the trained model (weights + serving metadata)")
+    p.add_argument("--sampler", default=None, metavar="SPEC",
+                   help="neighbor-sampled mini-batch training, e.g. "
+                        "'fanout=8,4;batch=128;seed=0' or just '8,4' "
+                        "(default: full-graph one-step-per-snapshot)")
+    p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N",
+                   help="WindowBuilder graph-cache LRU capacity "
+                        "(default: builder default, 4096)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record training spans as Chrome trace_event JSON")
     _add_ledger_flags(p)
@@ -653,11 +707,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split", choices=["valid", "test"], default="test")
     p.add_argument("--history-length", type=int, default=2,
                    help="fallback window length for metadata-less checkpoints")
+    p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N",
+                   help="WindowBuilder graph-cache LRU capacity override")
     _add_ledger_flags(p)
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("serve", help="run the online inference HTTP server")
-    p.add_argument("checkpoint", help="checkpoint written by `train --save`")
+    p.add_argument("checkpoint", nargs="?", default=None,
+                   help="checkpoint written by `train --save` "
+                        "(not needed with --worker-urls)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8420)
     p.add_argument("--warmup", default=None,
@@ -667,11 +725,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-entries", type=int, default=4096)
     p.add_argument("--state-cache-entries", type=int, default=8,
                    help="encoder-state LRU capacity beneath the prediction cache (0 disables)")
+    p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N",
+                   help="WindowBuilder graph-cache LRU capacity override")
     p.add_argument("--batch-window-ms", type=float, default=2.0,
                    help="micro-batch coalescing window (0 disables the wait)")
+    p.add_argument("--scoped-cold-start", default=None, metavar="SPEC",
+                   help="fan-out spec (e.g. '8,4') serving state-cache "
+                        "misses through the query-scoped sampled plan while "
+                        "the full encode warms in the background")
     p.add_argument("--workers", type=int, default=1,
                    help="decode worker processes; >1 runs the sharded cluster "
                         "(router + entity-range workers, see `repro cluster`)")
+    p.add_argument("--worker-urls", default=None, metavar="URLS",
+                   help="comma-separated URLs of pre-spawned cluster workers; "
+                        "runs only the router frontend (no local spawn)")
     p.add_argument("--state-dir", default=None, metavar="DIR",
                    help="shared encoder-state tier directory for cluster workers "
                         "(default: a fresh temp dir)")
@@ -696,6 +763,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup-splits", default="train,valid")
     p.add_argument("--cache-entries", type=int, default=4096)
     p.add_argument("--state-cache-entries", type=int, default=8)
+    p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N",
+                   help="WindowBuilder graph-cache LRU capacity override")
     p.add_argument("--batch-window-ms", type=float, default=0.0)
     p.add_argument("--verbose", action="store_true", help="log every request")
     p.set_defaults(func=cmd_cluster)
@@ -715,6 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup-splits", default="train,valid")
     p.add_argument("--cache-entries", type=int, default=4096)
     p.add_argument("--state-cache-entries", type=int, default=8)
+    p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N")
     p.add_argument("--batch-window-ms", type=float, default=0.0)
     p.set_defaults(func=cmd_cluster_worker)
 
@@ -740,6 +810,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-entries", type=int, default=4096)
     p.add_argument("--state-cache-entries", type=int, default=8,
                    help="encoder-state LRU capacity beneath the prediction cache (0 disables)")
+    p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N",
+                   help="WindowBuilder graph-cache LRU capacity override")
+    p.add_argument("--scoped-cold-start", default=None, metavar="SPEC",
+                   help="offline mode: serve state-cache misses through the "
+                        "query-scoped sampled plan (fan-out spec, e.g. '8,4')")
     p.add_argument("--batch-window-ms", type=float, default=0.0)
     p.add_argument("--top-k", type=int, default=10)
     p.add_argument("--inverse", action="store_true",

@@ -1,7 +1,13 @@
 """The HisRES model (paper §3) and its building blocks."""
 
 from repro.core.config import HisRESConfig, WindowConfig
-from repro.core.execution import EncoderState, EncoderStateCache, ExecutionPlan
+from repro.core.execution import (
+    EncoderState,
+    EncoderStateCache,
+    ExecutionPlan,
+    ScopedExecutionPlan,
+    scatter_rows,
+)
 from repro.core.time_encoding import TimeEncoding
 from repro.core.compgcn import CompGCNLayer, CompGCNStack
 from repro.core.convgat import ConvGATLayer
@@ -19,6 +25,8 @@ __all__ = [
     "EncoderState",
     "EncoderStateCache",
     "ExecutionPlan",
+    "ScopedExecutionPlan",
+    "scatter_rows",
     "TimeEncoding",
     "CompGCNLayer",
     "CompGCNStack",

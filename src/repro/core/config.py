@@ -25,6 +25,10 @@ class WindowConfig:
     use_global: bool = True
     track_vocabulary: bool = False
     global_max_history: Optional[int] = None
+    #: LRU capacity of the builder's snapshot/merged/global graph
+    #: caches (None keeps the WindowBuilder default).  Surfaced on the
+    #: CLI as ``--graph-cache-entries``.
+    cache_entries: Optional[int] = None
 
     def __post_init__(self):
         if self.history_length < 1:
@@ -33,6 +37,8 @@ class WindowConfig:
             raise ValueError("granularity must be >= 1")
         if self.global_max_history is not None and self.global_max_history < 1:
             raise ValueError("global_max_history must be >= 1 or None")
+        if self.cache_entries is not None and self.cache_entries < 1:
+            raise ValueError("cache_entries must be >= 1 or None")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form for checkpoint metadata."""
@@ -51,6 +57,9 @@ class WindowConfig:
         """Construct the :class:`WindowBuilder` this config describes."""
         from repro.core.window import WindowBuilder
 
+        kwargs = {}
+        if self.cache_entries is not None:
+            kwargs["cache_capacity"] = self.cache_entries
         return WindowBuilder(
             num_entities,
             num_relations,
@@ -59,6 +68,7 @@ class WindowConfig:
             use_global=self.use_global,
             global_max_history=self.global_max_history,
             track_vocabulary=self.track_vocabulary,
+            **kwargs,
         )
 
 

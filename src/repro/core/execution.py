@@ -37,7 +37,7 @@ from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.window import HistoryWindow
-from repro.nn.tensor import Tensor, get_default_dtype
+from repro.nn.tensor import Tensor, concat, get_default_dtype
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 
@@ -265,6 +265,18 @@ class EncoderStateCache:
                 state = model.encode(window)
         return replace(state, fingerprint=fingerprint)
 
+    def peek(self, model, window: HistoryWindow, model_key: str = "model") -> Optional[EncoderState]:
+        """Membership probe: the cached state for ``window``, or None.
+
+        Unlike :meth:`get_or_encode` this never encodes and never counts
+        a miss — serving uses it to decide whether a cold window should
+        fall back to the scoped (sampled) plan instead of paying a full
+        encode on the request path.  A present state still counts (and
+        refreshes) as a hit.
+        """
+        key = self._key(model, model_key, window.fingerprint())
+        return self._cache_get(key)
+
     def get_or_encode(self, model, window: HistoryWindow, model_key: str = "model") -> EncoderState:
         """Return the cached state for ``window`` or run one live encode.
 
@@ -416,4 +428,182 @@ class ExecutionPlan:
             "model_key": self.model_key,
             "supports_split": self.supports_split,
             "state_cache": None if self.cache is None else self.cache.stats(),
+        }
+
+
+def scatter_rows(reference: Tensor, indices: np.ndarray, rows: Tensor) -> Tensor:
+    """Full-size matrix = ``reference`` with ``rows`` written at ``indices``.
+
+    Autodiff-safe: built as ``concat([reference, rows])`` followed by a
+    row gather, so gradients flow both to the scattered rows (the
+    encoded closure) and to the reference rows that survived (e.g. the
+    initial embedding table rows of out-of-closure negatives during
+    sampled training).
+    """
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    n = int(reference.shape[0])
+    take = np.arange(n, dtype=np.int64)
+    take[indices] = n + np.arange(len(indices), dtype=np.int64)
+    return concat([reference, rows], axis=0).index_select(take)
+
+
+class ScopedExecutionPlan:
+    """Query-scoped wrapper over an :class:`ExecutionPlan`.
+
+    Encodes on the sampler-induced subgraph of the query batch's fan-in
+    closure and decodes against a full-size candidate matrix obtained by
+    scattering the encoded closure rows over the model's *reference*
+    matrix (its initial entity embedding table, see
+    ``scoped_reference_matrix``).  Candidates outside the closure score
+    against their initial embeddings — a documented approximation that
+    trades exactness on never-reachable candidates for per-batch cost
+    bounded by fan-in instead of entity count.
+
+    Two exactness fences anchor the approximation (see
+    ``docs/sampling.md``):
+
+    - **identity**: when the sampled closure covers every edge endpoint
+      (always true for exhaustive fanouts), :func:`induce_window`
+      returns the original window and every call here delegates to the
+      wrapped full-graph plan — scores are bitwise-identical (float64)
+      by construction;
+    - **reproducibility**: capped sampling is a pure function of
+      (window content, seeds, fanout spec, sampler seed), so the same
+      seed yields bitwise-identical scoped scores across runs.
+
+    Models that cannot split encode from decode (fused vocabulary
+    models) pass through to the full plan untouched.
+    """
+
+    def __init__(self, plan: ExecutionPlan, sampler, include_targets: bool = True):
+        self.plan = plan
+        self.sampler = sampler
+        self.include_targets = include_targets
+        self.identity_encodes = 0
+        self.scoped_encodes = 0
+
+    @property
+    def model(self):
+        return self.plan.model
+
+    @property
+    def supports_scoping(self) -> bool:
+        return self.plan.supports_split and bool(
+            getattr(self.model, "supports_query_scoping", False)
+        )
+
+    # ------------------------------------------------------------------
+    def _seeds(self, queries: np.ndarray, for_loss: bool = False) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.int64)
+        cols = [queries[:, 0]]
+        if for_loss and self.include_targets:
+            # gold objects must be in-closure during training so their
+            # CE logits come from *encoded* rows, not initial embeddings
+            cols.append(queries[:, 2])
+        return np.unique(np.concatenate(cols))
+
+    def _scatter_state(self, state: EncoderState, window: HistoryWindow) -> EncoderState:
+        """Expand a scoped state's entity rows to full entity space."""
+        nodes = window.local_nodes
+        model = self.model
+        reference = model.scoped_reference_matrix()
+        full_rows = int(reference.shape[0])
+
+        def expand(matrix: Tensor) -> Tensor:
+            if matrix is None or int(matrix.shape[0]) == full_rows:
+                # model ignored the scope (e.g. a static-embedding
+                # baseline whose encode never touches the graphs)
+                return matrix
+            return scatter_rows(reference, nodes, matrix)
+
+        slots = set(model.aux_entity_slots(state))
+        aux = tuple(expand(t) if i in slots else t for i, t in enumerate(state.aux))
+        return replace(
+            state,
+            entity_matrix=expand(state.entity_matrix),
+            aux=aux,
+            # scattered states are approximations of the full encode;
+            # never let them masquerade as cacheable full states
+            fingerprint=None,
+        )
+
+    def encode(self, window: HistoryWindow, queries: np.ndarray) -> EncoderState:
+        """Scoped encode for a query batch (eval + no-grad, cacheable).
+
+        Identity scopes (exhaustive fanouts, or caps covering the full
+        fan-in) delegate to the wrapped plan — same window object, same
+        cache entry, bitwise-equal scores.
+        """
+        if not self.supports_scoping or window.is_scoped:
+            return self.plan.encode(window)
+        induced, scope = self.sampler.induce(window, self._seeds(queries))
+        if scope.identity:
+            self.identity_encodes += 1
+            return self.plan.encode(window)
+        self.scoped_encodes += 1
+        cache = self.plan.cache
+        if cache is not None:
+            state = cache.get_or_encode(self.model, induced, model_key=self.plan.model_key)
+        else:
+            with span("encoder.encode", owner=f"{self.plan.model_key}.scoped"):
+                with _inference(self.model):
+                    state = self.model.encode(induced)
+        with _inference(self.model):
+            return self._scatter_state(state, induced)
+
+    def entity_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        if not self.supports_scoping:
+            return self.plan.entity_scores(window, queries)
+        state = self.encode(window, queries)
+        with _inference(self.model):
+            return self.model.decode(state, queries).data
+
+    def entity_scores_range(
+        self, window: HistoryWindow, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        if not self.supports_scoping:
+            return self.plan.entity_scores_range(window, queries, lo, hi)
+        state = self.encode(window, queries)
+        with _inference(self.model):
+            decode_range = getattr(self.model, "decode_entity_range", None)
+            if decode_range is not None and not state.fused:
+                return np.asarray(decode_range(state, queries, lo, hi))
+            return np.asarray(self.model.decode(state, queries).data)[:, lo:hi]
+
+    def relation_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
+        if not self.supports_scoping:
+            return self.plan.relation_scores(window, queries)
+        state = self.encode(window, queries)
+        with _inference(self.model):
+            logits = self.model.decode_relations(state, queries)
+        if logits is None:
+            raise TypeError(
+                f"{type(self.model).__name__} has no relation decoder; "
+                "relation ranking needs a joint model (e.g. HisRES, RE-GCN)"
+            )
+        return logits.data
+
+    def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
+        """Sampled training objective — encodes the induced window live
+        under grad, scatters, and runs the model's ``decode_loss`` so
+        gradients reach the closure rows, the reference table, and every
+        encoder parameter on the sampled path."""
+        if not self.supports_scoping or window.is_scoped:
+            return self.plan.loss(window, queries)
+        induced, scope = self.sampler.induce(window, self._seeds(queries, for_loss=True))
+        if scope.identity:
+            self.identity_encodes += 1
+            return self.plan.loss(window, queries)
+        self.scoped_encodes += 1
+        with span("encoder.encode", owner=f"{self.plan.model_key}.scoped_loss"):
+            state = self.model.encode(induced)
+        return self.model.decode_loss(self._scatter_state(state, induced), queries)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "model_key": self.plan.model_key,
+            "supports_scoping": self.supports_scoping,
+            "identity_encodes": self.identity_encodes,
+            "scoped_encodes": self.scoped_encodes,
+            "sampler": self.sampler.stats() if hasattr(self.sampler, "stats") else None,
         }

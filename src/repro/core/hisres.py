@@ -42,6 +42,7 @@ class HisRES(Module):
     """
 
     supports_encode_split = True
+    supports_query_scoping = True
 
     def __init__(self, num_entities: int, num_relations: int, config: Optional[HisRESConfig] = None):
         super().__init__()
@@ -84,7 +85,7 @@ class HisRES(Module):
     def encode(self, window: HistoryWindow) -> EncoderState:
         """Run both encoders; state holds (E^phi_t, R_t)."""
         cfg = self.config
-        e_init = self.entity_embedding.all()
+        e_init = window.scope_entities(self.entity_embedding.all())
         r_init = self.relation_embedding.all()
 
         if cfg.use_evolution:
@@ -153,14 +154,28 @@ class HisRES(Module):
         state = self.encode(window)
         return self.decode(state, queries), self.decode_relations(state, queries)
 
+    # ------------------------------------------------------------------
+    # query-scoped (sampled) execution hooks
+    # ------------------------------------------------------------------
+    def scoped_reference_matrix(self) -> Tensor:
+        """Reference rows for out-of-closure candidates in scoped decodes."""
+        return self.entity_embedding.all()
+
+    def aux_entity_slots(self, state: EncoderState) -> Tuple[int, ...]:
+        return ()
+
+    def decode_loss(self, state: EncoderState, queries: np.ndarray) -> Tensor:
+        """Joint objective (Eq. 15) given a (grad-live) encoder state."""
+        queries = np.asarray(queries, dtype=np.int64)
+        entity_loss = cross_entropy(self.decode(state, queries), queries[:, 2])
+        relation_loss = cross_entropy(self.decode_relations(state, queries), queries[:, 1])
+        alpha = self.config.alpha
+        return entity_loss * alpha + relation_loss * (1.0 - alpha)
+
     def loss(self, window: HistoryWindow, queries: np.ndarray) -> Tensor:
         """Joint learning objective (Eq. 15)."""
         queries = np.asarray(queries, dtype=np.int64)
-        entity_logits, relation_logits = self.forward(window, queries)
-        entity_loss = cross_entropy(entity_logits, queries[:, 2])
-        relation_loss = cross_entropy(relation_logits, queries[:, 1])
-        alpha = self.config.alpha
-        return entity_loss * alpha + relation_loss * (1.0 - alpha)
+        return self.decode_loss(self.encode(window), queries)
 
     def predict_entities(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
         """Entity scores as a plain array (evaluation helper)."""

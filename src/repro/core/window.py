@@ -67,6 +67,12 @@ class HistoryWindow:
         history_counts: per-query (n, |E|) historical frequency matrix,
             or None.
         prediction_time: the timestamp being predicted.
+        local_nodes: sorted global entity ids when this window is an
+            induced subgraph produced by :mod:`repro.graphs.sampler`
+            (``local_nodes[i]`` is the global id of local entity ``i``),
+            or None for a full-graph window.  Scoped windows carry graphs
+            over the compacted local id space; encoders read them
+            through :meth:`scope_entities`.
     """
 
     snapshots: List[SnapshotGraph]
@@ -76,7 +82,30 @@ class HistoryWindow:
     prediction_time: int
     history_masks: Optional[np.ndarray] = None
     history_counts: Optional[np.ndarray] = None
+    local_nodes: Optional[np.ndarray] = None
     _fingerprint: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    @property
+    def is_scoped(self) -> bool:
+        """True when this window is a sampler-induced subgraph."""
+        return self.local_nodes is not None
+
+    @property
+    def num_local_entities(self) -> Optional[int]:
+        return None if self.local_nodes is None else int(len(self.local_nodes))
+
+    def scope_entities(self, matrix):
+        """Restrict a full entity matrix/table to this window's scope.
+
+        For full-graph windows this is the identity; for scoped windows
+        it gathers the rows of the sampled closure (autodiff-safe, so
+        gradients flow back to the gathered rows during sampled
+        training).  Encoders call this on their initial entity table so
+        one implementation serves both the full and the scoped path.
+        """
+        if self.local_nodes is None:
+            return matrix
+        return matrix.index_select(self.local_nodes)
 
     def fingerprint(self) -> tuple:
         """Content key over everything an encoder can read from the window.
@@ -104,6 +133,9 @@ class HistoryWindow:
                 tuple(g.content_fingerprint() for g in self.merged),
                 tuple(float(d) for d in self.deltas),
                 None if self.global_graph is None else self.global_graph.content_fingerprint(),
+                None
+                if self.local_nodes is None
+                else (int(len(self.local_nodes)), stable_array_digest(self.local_nodes)),
             )
         return self._fingerprint
 
@@ -166,6 +198,14 @@ class WindowBuilder:
             for cache in _CACHES
             for event in _EVENTS
         }
+        entries_family = get_registry().gauge(
+            "repro_window_cache_entries",
+            "Live entries in the window-level graph caches per WindowBuilder.",
+            labelnames=("builder", "cache"),
+        )
+        self._cache_gauges = {
+            cache: entries_family.labels(builder=builder_id, cache=cache) for cache in _CACHES
+        }
 
     def reset(self) -> None:
         """Forget the rolling history (start of a new epoch/run).
@@ -195,7 +235,11 @@ class WindowBuilder:
         Per-instance view over this builder's labeled series on the
         :mod:`repro.obs` metrics registry (also scraped by /metrics).
         """
-        return {key: int(counter.value) for key, counter in self._cache_counters.items()}
+        stats = {key: int(counter.value) for key, counter in self._cache_counters.items()}
+        stats.update(
+            {f"{name}_entries": int(gauge.value) for name, gauge in self._cache_gauges.items()}
+        )
+        return stats
 
     def _cache_get(self, cache: "OrderedDict", key) -> Optional[SnapshotGraph]:
         graph = cache.get(key)
@@ -203,10 +247,11 @@ class WindowBuilder:
             cache.move_to_end(key)
         return graph
 
-    def _cache_put(self, cache: "OrderedDict", key, graph: SnapshotGraph) -> None:
+    def _cache_put(self, name: str, cache: "OrderedDict", key, graph: SnapshotGraph) -> None:
         cache[key] = graph
         while len(cache) > self.cache_capacity:
             cache.popitem(last=False)
+        self._cache_gauges[name].set(len(cache))
 
     # ------------------------------------------------------------------
     def window_for(self, queries: np.ndarray, prediction_time: int) -> HistoryWindow:
@@ -225,7 +270,7 @@ class WindowBuilder:
             global_graph = self._cache_get(self._global_cache, key)
             if global_graph is None:
                 global_graph = self._global.build(pairs, now=prediction_time)
-                self._cache_put(self._global_cache, key, global_graph)
+                self._cache_put("global", self._global_cache, key, global_graph)
                 self._cache_counters["global_builds"].inc()
             else:
                 self._cache_counters["global_hits"].inc()
@@ -268,7 +313,7 @@ class WindowBuilder:
                     self.num_entities,
                     self.num_relations,
                 )
-                self._cache_put(self._merged_cache, key, graph)
+                self._cache_put("merged", self._merged_cache, key, graph)
                 self._cache_counters["merged_builds"].inc()
             else:
                 self._cache_counters["merged_hits"].inc()
@@ -284,7 +329,7 @@ class WindowBuilder:
         graph = self._cache_get(self._snapshot_cache, fp)
         if graph is None:
             graph = build_snapshot(quads, self.num_entities, self.num_relations)
-            self._cache_put(self._snapshot_cache, fp, graph)
+            self._cache_put("snapshot", self._snapshot_cache, fp, graph)
             self._cache_counters["snapshot_builds"].inc()
         else:
             self._cache_counters["snapshot_hits"].inc()

@@ -66,6 +66,11 @@ class RunConfig:
     patience: int = 10
     seed: int = 3
     max_timestamps: Optional[int] = None
+    #: ``--sampler`` spec ("fanout=8,4;batch=128") enabling
+    #: neighbor-sampled mini-batch epochs; None = full-graph regime.
+    sampler: Optional[str] = None
+    #: WindowBuilder graph-cache LRU capacity (None = builder default).
+    graph_cache_entries: Optional[int] = None
 
 
 def epochs_for(key: str, scale: BenchScale) -> int:
@@ -125,6 +130,8 @@ def run_model_on_dataset(
         learning_rate=config.learning_rate,
         seed=config.seed,
         health=health,
+        sampler=config.sampler,
+        graph_cache_entries=config.graph_cache_entries,
     )
     fit = trainer.fit(
         epochs=config.epochs,
@@ -181,6 +188,7 @@ def run_model_on_dataset(
                 "epochs": config.epochs,
                 "patience": config.patience,
                 "use_global": use_global,
+                "sampler": config.sampler,
             },
             metrics={
                 "mrr": row["mrr"],

@@ -11,6 +11,13 @@ from repro.graphs.compiled import (
     compiled_cache_stats,
     reset_compiled_cache_stats,
 )
+from repro.graphs.sampler import (
+    FanoutSpec,
+    NeighborSampler,
+    SampleScope,
+    induce_window,
+    sample_scope,
+)
 
 __all__ = [
     "SnapshotGraph",
@@ -22,4 +29,9 @@ __all__ = [
     "compiled",
     "compiled_cache_stats",
     "reset_compiled_cache_stats",
+    "FanoutSpec",
+    "NeighborSampler",
+    "SampleScope",
+    "induce_window",
+    "sample_scope",
 ]

@@ -59,6 +59,9 @@ _LOWER_BETTER_HINTS = (
 )
 _THROUGHPUT_HINTS = (
     "per_second", "qps", "steps_s", "blk_s", "throughput", "speedup", "hit_rate",
+    # sampled-vs-full encoder rows (sampler_speedup, sampler_win_x, ...);
+    # time-suffixed sampler metrics still land on LOWER_BETTER first
+    "sampler",
 )
 
 QUALITY_POLICY = MetricPolicy(higher_is_better=True, rel_tol=0.05, abs_tol=0.25)

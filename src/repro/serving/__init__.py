@@ -35,6 +35,7 @@ from repro.serving.cluster import (
     ClusterConfig,
     ClusterSupervisor,
     LocalCluster,
+    attach_workers,
     build_shard_engine,
     launch_local_cluster,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "ShardWorkerServer",
     "SharedEncoderStateStore",
     "TieredStateCache",
+    "attach_workers",
     "build_shard_engine",
     "create_router_server",
     "create_server",

@@ -64,6 +64,7 @@ class ClusterConfig:
     cache_entries: int = 4096
     state_cache_entries: int = 8
     batch_window_ms: float = 0.0
+    graph_cache_entries: Optional[int] = None
     request_timeout_s: float = 30.0
     ready_timeout_s: float = 120.0
     restart_limit: int = 3
@@ -79,6 +80,7 @@ def build_shard_engine(
     cache_entries: int = 4096,
     state_cache_entries: int = 8,
     batch_window_s: float = 0.0,
+    graph_cache_entries: Optional[int] = None,
 ) -> ShardEngine:
     """Checkpoint -> one worker's :class:`ShardEngine`.
 
@@ -110,10 +112,13 @@ def build_shard_engine(
     )
     load_checkpoint(model, checkpoint)
     shard = partition_entities(num_entities, num_shards)[shard_index]
+    window_overrides = (
+        {} if graph_cache_entries is None else {"cache_entries": int(graph_cache_entries)}
+    )
     store = OnlineHistoryStore(
         num_entities,
         int(meta["num_relations"]),
-        window_config=WindowConfig.from_dict(meta.get("window")),
+        window_config=WindowConfig.from_dict(meta.get("window"), **window_overrides),
     )
     owner = f"shard{shard_index}"
     state_cache = None
@@ -134,6 +139,72 @@ def build_shard_engine(
         state_cache_entries=state_cache_entries,
         state_cache=state_cache,
     )
+
+
+def attach_workers(
+    urls: Sequence[str], timeout_s: float = 30.0
+) -> List[tuple]:
+    """Probe pre-spawned shard workers and derive the router wiring.
+
+    Each worker's ``GET /health`` response carries its shard assignment
+    (``{"shard": {"index", "num_shards", "lo", "hi"}}``); the pairs are
+    sorted by shard index and validated to be one contiguous cover of
+    ``[0, num_entities)`` before they reach the
+    :class:`~repro.serving.router.ClusterRouter`.  This is the
+    ``repro serve --worker-urls`` path: the router fronts workers that
+    were started elsewhere (other hosts, a process manager) instead of
+    spawning localhost subprocesses through the supervisor handshake.
+
+    Returns ``(url, EntityShard)`` pairs ready for ``ClusterRouter``.
+    Raises :class:`RuntimeError` when a worker is unreachable, is not a
+    shard worker, or the declared shards do not tile the entity space.
+    """
+    from repro.serving.client import ServingClient, ServingError
+
+    if not urls:
+        raise ValueError("attach_workers needs at least one worker URL")
+    pairs = []
+    for url in urls:
+        url = url.rstrip("/")
+        try:
+            health = ServingClient(url, timeout=timeout_s).health()
+        except (ServingError, OSError) as exc:
+            raise RuntimeError(f"worker {url} is unreachable: {exc}") from exc
+        shard_dict = health.get("shard")
+        if not isinstance(shard_dict, dict):
+            raise RuntimeError(
+                f"worker {url} reports no shard assignment "
+                f"(role={health.get('role')!r}); point --worker-urls at "
+                "`repro.cli cluster-worker` processes"
+            )
+        try:
+            shard = EntityShard(**{k: int(v) for k, v in shard_dict.items()})
+        except TypeError as exc:
+            raise RuntimeError(f"worker {url} sent a malformed shard: {shard_dict!r}") from exc
+        pairs.append((url, shard))
+    pairs.sort(key=lambda pair: pair[1].index)
+    shards = [shard for _, shard in pairs]
+    declared = {shard.num_shards for shard in shards}
+    if declared != {len(shards)}:
+        raise RuntimeError(
+            f"workers disagree on cluster size: {len(shards)} URLs given but "
+            f"shards declare num_shards={sorted(declared)}"
+        )
+    indices = [shard.index for shard in shards]
+    if indices != list(range(len(shards))):
+        raise RuntimeError(
+            f"shard indices {indices} are not a permutation of 0..{len(shards) - 1}"
+        )
+    lo = 0
+    for shard in shards:
+        if shard.lo != lo:
+            raise RuntimeError(
+                f"shard {shard.index} covers [{shard.lo}, {shard.hi}) where "
+                f"[{lo}, ...) was expected — entity ranges must tile "
+                "[0, num_entities) contiguously"
+            )
+        lo = shard.hi
+    return pairs
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +277,8 @@ def spawn_worker(
         "--state-cache-entries", str(config.state_cache_entries),
         "--batch-window-ms", str(config.batch_window_ms),
     ]
+    if config.graph_cache_entries is not None:
+        cmd += ["--graph-cache-entries", str(config.graph_cache_entries)]
     if config.warmup:
         cmd += ["--warmup", config.warmup, "--warmup-splits", config.warmup_splits]
     env = dict(os.environ)

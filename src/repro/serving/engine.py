@@ -28,8 +28,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import WindowConfig
-from repro.core.execution import EncoderStateCache, ExecutionPlan, topk_ranked
+from repro.core.execution import (
+    EncoderStateCache,
+    ExecutionPlan,
+    ScopedExecutionPlan,
+    topk_ranked,
+)
+from repro.graphs.sampler import NeighborSampler
 from repro.nn.serialization import load_checkpoint, read_checkpoint_metadata
+from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.serving.cache import LRUCache
 from repro.serving.store import OnlineHistoryStore
@@ -132,6 +139,13 @@ class InferenceEngine:
             :class:`~repro.serving.state_tier.TieredStateCache` here so
             worker replicas consult the shared on-disk tier before
             encoding.  Overrides ``state_cache_entries``.
+        scoped_cold_start: fan-out spec (e.g. ``"8,4"``) enabling the
+            sampled cold-miss path: when the state cache holds no full
+            encode for the current window, the request decodes through
+            the :class:`~repro.core.execution.ScopedExecutionPlan`
+            (cost bounded by the batch's fan-in, not entity count)
+            while a background thread warms the full encode.  None (the
+            default) keeps every request on the full-graph plan.
     """
 
     def __init__(
@@ -144,6 +158,7 @@ class InferenceEngine:
         metadata: Optional[Dict] = None,
         state_cache_entries: int = 8,
         state_cache: Optional[EncoderStateCache] = None,
+        scoped_cold_start: Optional[str] = None,
     ):
         self.model = model
         self.store = store
@@ -159,6 +174,28 @@ class InferenceEngine:
                 else None
             )
         self.plan = ExecutionPlan(model, cache=self.state_cache, model_key=model_key)
+        self.scoped_plan: Optional[ScopedExecutionPlan] = None
+        if scoped_cold_start is not None:
+            candidate = ScopedExecutionPlan(
+                self.plan, NeighborSampler(scoped_cold_start, owner="serving")
+            )
+            # fused models and static embedders can't scope; leave None
+            # so the cold-miss branch never triggers for them
+            if candidate.supports_scoping and self.state_cache is not None:
+                self.scoped_plan = candidate
+        encode_family = get_registry().counter(
+            "repro_engine_encode_total",
+            "Engine decode executions by encode mode (full vs scoped cold-miss).",
+            labelnames=("mode",),
+        )
+        self._encode_counters = {
+            mode: encode_family.labels(mode=mode) for mode in ("full", "scoped")
+        }
+        # per-instance view (the registry series are process-wide)
+        self._encode_mode_counts = {"full": 0, "scoped": 0}
+        self._warm_lock = threading.Lock()
+        self._warming: set = set()
+        self._warm_threads: List[threading.Thread] = []
         self._batcher = MicroBatcher(self._execute_batch, window_s=batch_window_s)
         self._model_lock = threading.Lock()
         self._predict_calls = 0
@@ -174,6 +211,8 @@ class InferenceEngine:
         cache_entries: int = 4096,
         batch_window_s: float = 0.002,
         state_cache_entries: int = 8,
+        scoped_cold_start: Optional[str] = None,
+        graph_cache_entries: Optional[int] = None,
         **overrides,
     ) -> "InferenceEngine":
         """Build model + store from a ``repro.cli train --save`` checkpoint.
@@ -182,10 +221,15 @@ class InferenceEngine:
         ``num_entities``, ``num_relations``, and ``dim``; the ``window``
         sub-dict restores the training-time window configuration.
         ``overrides`` replace individual window keys (e.g.
-        ``history_length=8``).
+        ``history_length=8``); ``graph_cache_entries`` sets the store's
+        WindowBuilder graph-cache LRU capacity (it is the window-config
+        ``cache_entries`` field, named apart from the prediction-cache
+        ``cache_entries`` argument above).
         """
         from repro.baselines import build_model
 
+        if graph_cache_entries is not None:
+            overrides.setdefault("cache_entries", int(graph_cache_entries))
         meta = read_checkpoint_metadata(path)
         required = ("model", "num_entities", "num_relations")
         missing = [key for key in required if key not in meta]
@@ -217,6 +261,7 @@ class InferenceEngine:
             batch_window_s=batch_window_s,
             metadata=meta,
             state_cache_entries=state_cache_entries,
+            scoped_cold_start=scoped_cold_start,
         )
 
     # ------------------------------------------------------------------
@@ -268,17 +313,69 @@ class InferenceEngine:
                 queries[i, 0] = s
                 queries[i, 1] = r
             lo, hi = self._score_range()
+            scoped = False
             with span("engine.predict_batch", batch=len(pairs), misses=len(todo)):
                 with self._model_lock:
                     window = self.store.window_for(queries)
-                    scores = np.asarray(
-                        self.plan.entity_scores_range(window, queries, lo, hi)
+                    scoped = (
+                        self.scoped_plan is not None
+                        and self.state_cache.peek(self.model, window, self.model_key) is None
                     )
+                    if scoped:
+                        # cold miss: answer from the sampled fan-in
+                        # closure now, warm the full encode off-path
+                        scores = np.asarray(
+                            self.scoped_plan.entity_scores_range(window, queries, lo, hi)
+                        )
+                    else:
+                        scores = np.asarray(
+                            self.plan.entity_scores_range(window, queries, lo, hi)
+                        )
                     self._predict_calls += 1
+            mode = "scoped" if scoped else "full"
+            self._encode_counters[mode].inc()
+            self._encode_mode_counts[mode] += 1
             for i, pair in enumerate(todo):
                 results[pair] = scores[i]
-                self.cache.put(self._cache_key(pair, version), scores[i])
+                if not scoped:
+                    # scoped scores approximate out-of-closure candidates;
+                    # keep them out of the per-pair prediction cache so the
+                    # warmed full encode serves exact scores next time
+                    self.cache.put(self._cache_key(pair, version), scores[i])
+            if scoped:
+                self._spawn_warmup(window)
         return results
+
+    # ------------------------------------------------------------------
+    def _spawn_warmup(self, window) -> None:
+        """Single-flight background full encode for a scoped cold miss."""
+        fingerprint = window.fingerprint()
+        with self._warm_lock:
+            if fingerprint in self._warming:
+                return
+            self._warming.add(fingerprint)
+
+        def warm() -> None:
+            try:
+                with span("engine.warm_encode", owner=self.model_key):
+                    with self._model_lock:
+                        self.plan.encode(window)
+            finally:
+                with self._warm_lock:
+                    self._warming.discard(fingerprint)
+
+        thread = threading.Thread(target=warm, daemon=True, name="engine-warm-encode")
+        with self._warm_lock:
+            self._warm_threads = [t for t in self._warm_threads if t.is_alive()]
+            self._warm_threads.append(thread)
+        thread.start()
+
+    def join_warmups(self, timeout: Optional[float] = None) -> None:
+        """Wait for in-flight warm encodes (test/shutdown hook)."""
+        with self._warm_lock:
+            threads = list(self._warm_threads)
+        for thread in threads:
+            thread.join(timeout=timeout)
 
     def reload_weights(self, path: str) -> Dict[str, object]:
         """Hot-swap model weights from a checkpoint without restarting.
@@ -374,4 +471,6 @@ class InferenceEngine:
             "state_cache": None if self.state_cache is None else self.state_cache.stats(),
             "batching": self._batcher.stats(),
             "store": self.store.stats(),
+            "encode_modes": dict(self._encode_mode_counts),
+            "scoped_cold_start": None if self.scoped_plan is None else self.scoped_plan.stats(),
         }

@@ -8,6 +8,7 @@ from repro.training.metrics import (
     summarize_ranks,
 )
 from repro.training.evaluator import Evaluator, TimelineEvaluator, build_time_filter
+from repro.training.loader import QueryBatchLoader, SamplerConfig
 from repro.training.trainer import Trainer, TrainResult
 from repro.training.seeding import seed_everything
 from repro.training.history import EpochRecord, TrainingHistory
@@ -22,6 +23,8 @@ __all__ = [
     "Evaluator",
     "TimelineEvaluator",
     "build_time_filter",
+    "QueryBatchLoader",
+    "SamplerConfig",
     "Trainer",
     "TrainResult",
     "seed_everything",

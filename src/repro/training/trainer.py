@@ -18,13 +18,14 @@ import numpy as np
 from repro.data.dataset import TKGDataset
 from repro.nn import Adam, clip_grad_norm_
 from repro.core.config import WindowConfig
-from repro.core.execution import EncoderStateCache, ExecutionPlan
+from repro.core.execution import EncoderStateCache, ExecutionPlan, ScopedExecutionPlan
 from repro.obs.health import HealthMonitor
 from repro.obs.logging import configure_logging, log_event
 from repro.obs.metrics import get_registry
 from repro.obs.runs import new_run_id
 from repro.obs.trace import span
 from repro.training.evaluator import TimelineEvaluator
+from repro.training.loader import QueryBatchLoader, SamplerConfig
 from repro.training.metrics import RankingResult
 from repro.training.seeding import seed_everything
 
@@ -66,6 +67,8 @@ class Trainer:
         seed: int = 0,
         health: Optional[HealthMonitor] = None,
         run_id: Optional[str] = None,
+        sampler: Optional[SamplerConfig] = None,
+        graph_cache_entries: Optional[int] = None,
     ):
         self.model = model
         self.dataset = dataset
@@ -78,6 +81,7 @@ class Trainer:
             use_global=use_global,
             track_vocabulary=track_vocabulary,
             global_max_history=global_max_history,
+            cache_entries=graph_cache_entries,
         )
         self.window_builder = self.window_config.build(
             dataset.num_entities, dataset.num_relations
@@ -91,6 +95,20 @@ class Trainer:
         # after optimising, so stale states are never decoded.
         self.state_cache = EncoderStateCache(owner="trainer")
         self.plan = ExecutionPlan(model, cache=self.state_cache)
+        # Neighbor-sampled training: encode only the fan-in closure of
+        # each query mini-batch (repro.graphs.sampler).  None keeps the
+        # classic one-step-per-snapshot full-graph regime.
+        self.sampler_config = SamplerConfig.parse(sampler) if sampler is not None else None
+        if self.sampler_config is not None:
+            self.scoped_plan: Optional[ScopedExecutionPlan] = ScopedExecutionPlan(
+                self.plan, self.sampler_config.build(owner="trainer")
+            )
+            self.batch_loader: Optional[QueryBatchLoader] = QueryBatchLoader(
+                batch_size=self.sampler_config.batch_size, seed=self.sampler_config.seed
+            )
+        else:
+            self.scoped_plan = None
+            self.batch_loader = None
         # Health watchdogs ride along by default (NaN/Inf aborts; trend
         # events warn).  Pass ``health=False`` to opt out entirely, or a
         # configured HealthMonitor to set policies and a bundle dir.
@@ -142,8 +160,42 @@ class Trainer:
             "update_ratio": self._gauge_update_ratio.value,
         }
 
+    def _optimise_step(
+        self,
+        plan,
+        window,
+        queries: np.ndarray,
+        t: int,
+        losses: List[float],
+        grad_norms: List[float],
+    ) -> None:
+        """One optimisation step (shared by full and sampled epochs)."""
+        self.model.zero_grad()
+        loss = plan.loss(window, queries)
+        loss.backward()
+        grad_norms.append(clip_grad_norm_(self.model.parameters(), self.grad_clip))
+        first_step = not losses
+        before = [p.data.copy() for p in self.model.parameters()] if first_step else None
+        self.optimizer.step()
+        if first_step:
+            self._gauge_update_ratio.set(self._update_ratio(before))
+        losses.append(loss.item())
+        if self.health is not None:
+            self.health.observe_step(
+                losses[-1],
+                grad_norm=grad_norms[-1],
+                step=int(t),
+                epoch=self._epoch_index,
+            )
+
     def train_epoch(self, max_timestamps: Optional[int] = None) -> float:
-        """One pass over the training timeline; returns mean loss."""
+        """One pass over the training timeline; returns mean loss.
+
+        With a sampler configured, each timestamp's queries are split
+        into deterministic shuffled mini-batches and every batch
+        optimises against the scoped plan — the encode runs on the
+        batch's sampled fan-in closure instead of the full graph.
+        """
         self.model.train()
         builder = self.window_builder
         builder.reset()
@@ -155,31 +207,21 @@ class Trainer:
         for t, quads in items:
             queries = self.evaluator.queries_with_inverse(quads)
             if builder.history_filled:
-                with span("train.step", t=int(t), queries=len(queries)):
-                    window = builder.window_for(queries, prediction_time=t)
-                    self.model.zero_grad()
-                    loss = self.plan.loss(window, queries)
-                    loss.backward()
-                    grad_norms.append(
-                        clip_grad_norm_(self.model.parameters(), self.grad_clip)
-                    )
-                    first_step = not losses
-                    before = (
-                        [p.data.copy() for p in self.model.parameters()]
-                        if first_step
-                        else None
-                    )
-                    self.optimizer.step()
-                    if first_step:
-                        self._gauge_update_ratio.set(self._update_ratio(before))
-                    losses.append(loss.item())
-                    if self.health is not None:
-                        self.health.observe_step(
-                            losses[-1],
-                            grad_norm=grad_norms[-1],
-                            step=int(t),
-                            epoch=self._epoch_index,
-                        )
+                if self.scoped_plan is not None:
+                    for batch in self.batch_loader.batches(
+                        queries, epoch=self._epoch_index, timestamp=int(t)
+                    ):
+                        with span("train.step", t=int(t), queries=len(batch), sampled=True):
+                            # per-batch window: G^H_t is query-conditioned,
+                            # so each mini-batch gets its own global graph
+                            window = builder.window_for(batch, prediction_time=t)
+                            self._optimise_step(
+                                self.scoped_plan, window, batch, t, losses, grad_norms
+                            )
+                else:
+                    with span("train.step", t=int(t), queries=len(queries)):
+                        window = builder.window_for(queries, prediction_time=t)
+                        self._optimise_step(self.plan, window, queries, t, losses, grad_norms)
             builder.absorb(quads)
         if grad_norms:
             self._gauge_grad_norm.set(float(np.mean(grad_norms)))

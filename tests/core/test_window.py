@@ -118,3 +118,52 @@ class TestVocabularyTracking:
         b.reset()
         w = b.window_for(_quads(0, [(0, 0, 2)]), prediction_time=0)
         assert w.history_masks.sum() == 0
+
+
+class TestGraphCacheCapacity:
+    def test_cache_capacity_bounds_entries(self):
+        b = _builder(cache_capacity=2)
+        for t in range(6):
+            b.absorb(_quads(t, [(t % 3, 0, (t + 1) % 3)]))
+            b.window_for(_quads(t, [(0, 0, 1)]), prediction_time=t)
+        stats = b.cache_stats()
+        for name in ("snapshot", "merged", "global"):
+            assert stats.get(f"{name}_entries", 0) <= 2
+
+    def test_entry_gauges_track_cache_sizes(self):
+        from repro.obs.metrics import get_registry
+
+        b = _builder(cache_capacity=8)
+        for t in range(3):
+            b.absorb(_quads(t, [(0, 0, 1)]))
+            b.window_for(_quads(t, [(0, 0, 1)]), prediction_time=t)
+        stats = b.cache_stats()
+        assert "repro_window_cache_entries" in get_registry().render_prometheus()
+        for name in ("snapshot", "merged", "global"):
+            assert b._cache_gauges[name].value == stats[f"{name}_entries"]
+        assert stats["snapshot_entries"] >= 1
+
+
+class TestScopedWindows:
+    def test_scope_entities_identity_when_unscoped(self):
+        from repro.nn.tensor import Tensor
+
+        b = _builder()
+        b.absorb(_quads(0, [(0, 0, 1)]))
+        w = b.window_for(_quads(1, [(0, 0, 1)]), prediction_time=1)
+        assert not w.is_scoped
+        matrix = Tensor(np.arange(20, dtype=np.float64).reshape(10, 2))
+        assert w.scope_entities(matrix) is matrix
+
+    def test_local_nodes_enter_fingerprint(self):
+        b = _builder()
+        b.absorb(_quads(0, [(0, 0, 1)]))
+        w = b.window_for(_quads(1, [(0, 0, 1)]), prediction_time=1)
+        from dataclasses import replace
+
+        scoped = replace(
+            w, local_nodes=np.array([0, 1, 3], dtype=np.int64), _fingerprint=None
+        )
+        assert scoped.is_scoped
+        assert scoped.num_local_entities == 3
+        assert scoped.fingerprint() != w.fingerprint()

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) on the synthetic TKG generator.
+
+The generator is the foundation every benchmark and training run stands
+on, so these properties are checked across randomly drawn profiles at a
+scale well beyond the hand-picked built-ins: id bounds, chronologically
+non-decreasing timestamps, determinism under a fixed seed, and the two
+regime mechanisms the paper's analysis leans on — partner drift (the
+drifting templates really change objects across regime boundaries) and
+the rotating hot set (hot snapshots concentrate interactions on a small
+cast).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.profiles import DatasetProfile
+from repro.data.synthetic import SyntheticTKGGenerator
+
+
+def profiles(**overrides):
+    """Random but generate-able DatasetProfile values."""
+    base = dict(
+        num_entities=st.integers(20, 400),
+        num_relations=st.integers(2, 40),
+        num_timestamps=st.integers(4, 60),
+        facts_per_snapshot=st.integers(4, 80),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    base.update(overrides)
+    return st.builds(
+        DatasetProfile,
+        name=st.just("prop"),
+        time_granularity=st.just("1 step"),
+        **base,
+    )
+
+
+class TestGeneratorBounds:
+    @given(profiles())
+    @settings(max_examples=25, deadline=None)
+    def test_ids_and_timestamps_in_bounds(self, profile):
+        dataset = SyntheticTKGGenerator(profile).generate()
+        quads = dataset.quads
+        assert quads.ndim == 2 and quads.shape[1] == 4
+        assert len(quads) > 0
+        assert quads[:, 0].min() >= 0 and quads[:, 0].max() < profile.num_entities
+        assert quads[:, 2].min() >= 0 and quads[:, 2].max() < profile.num_entities
+        assert quads[:, 1].min() >= 0 and quads[:, 1].max() < profile.num_relations
+        assert quads[:, 3].min() >= 0 and quads[:, 3].max() < profile.num_timestamps
+
+    @given(profiles())
+    @settings(max_examples=25, deadline=None)
+    def test_timestamps_non_decreasing(self, profile):
+        quads = SyntheticTKGGenerator(profile).generate().quads
+        assert np.all(np.diff(quads[:, 3]) >= 0)
+
+    @given(profiles())
+    @settings(max_examples=25, deadline=None)
+    def test_no_duplicate_facts_within_snapshot(self, profile):
+        quads = SyntheticTKGGenerator(profile).generate().quads
+        assert len(np.unique(quads, axis=0)) == len(quads)
+
+    @given(profiles(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_seed_determinism(self, profile, seed):
+        first = SyntheticTKGGenerator(profile, seed=seed).generate().quads
+        second = SyntheticTKGGenerator(profile, seed=seed).generate().quads
+        np.testing.assert_array_equal(first, second)
+
+
+class TestRegimeMechanisms:
+    @given(
+        profiles(
+            num_timestamps=st.integers(30, 80),
+            facts_per_snapshot=st.integers(20, 60),
+            # all budget on the drifting mechanism; fast regimes so the
+            # timeline crosses several boundaries
+            drifting_share=st.just(1.0),
+            recurrent_share=st.just(0.0),
+            periodic_share=st.just(0.0),
+            causal_share=st.just(0.0),
+            hot_share=st.just(0.0),
+            noise_share=st.just(0.0),
+            regime_length_range=st.just((4, 8)),
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_partner_drift_changes_objects_across_regimes(self, profile):
+        generator = SyntheticTKGGenerator(profile)
+        dataset = generator.generate()
+        quads = dataset.quads
+        # at least one (s, r) pair must pair with different objects in
+        # the first vs the last third of the timeline — stale partners
+        # outrank current ones for pure frequency statistics
+        early = quads[quads[:, 3] < profile.num_timestamps // 3]
+        late = quads[quads[:, 3] >= 2 * profile.num_timestamps // 3]
+        drifted = 0
+        for s, r in {(int(q[0]), int(q[1])) for q in early}:
+            early_objects = set(early[(early[:, 0] == s) & (early[:, 1] == r)][:, 2].tolist())
+            late_rows = late[(late[:, 0] == s) & (late[:, 1] == r)]
+            late_objects = set(late_rows[:, 2].tolist())
+            if late_objects and late_objects - early_objects:
+                drifted += 1
+        assert drifted >= 1
+
+    @given(
+        profiles(
+            num_entities=st.integers(100, 400),
+            num_timestamps=st.integers(20, 40),
+            facts_per_snapshot=st.integers(30, 80),
+            hot_share=st.just(1.0),
+            recurrent_share=st.just(0.0),
+            periodic_share=st.just(0.0),
+            causal_share=st.just(0.0),
+            drifting_share=st.just(0.0),
+            noise_share=st.just(0.0),
+            hot_set_size=st.integers(4, 8),
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_hot_set_concentrates_interactions(self, profile):
+        quads = SyntheticTKGGenerator(profile).generate().quads
+        # every snapshot's facts must live on at most hot_set_size
+        # entities — the rotating cast the recency encoders can read
+        for t in np.unique(quads[:, 3]):
+            snapshot = quads[quads[:, 3] == t]
+            cast = np.unique(np.concatenate([snapshot[:, 0], snapshot[:, 2]]))
+            assert len(cast) <= profile.hot_set_size
+
+    @given(profiles(num_entities=st.integers(200, 500),
+                    num_timestamps=st.integers(12, 60)))
+    @settings(max_examples=10, deadline=None)
+    def test_splits_partition_chronologically(self, profile):
+        dataset = SyntheticTKGGenerator(profile).generate()
+        train_t = dataset.train.quads[:, 3]
+        valid_t = dataset.valid.quads[:, 3]
+        test_t = dataset.test.quads[:, 3]
+        if len(train_t) and len(valid_t):
+            assert train_t.max() < valid_t.min()
+        if len(valid_t) and len(test_t):
+            assert valid_t.max() < test_t.min()

@@ -30,6 +30,11 @@ def test_policy_for_uses_name_hints():
     assert policy_for("loss") is LOWER_BETTER_POLICY
     assert policy_for("predict_p95_ms") is LOWER_BETTER_POLICY
     assert policy_for("walk_steps_per_second") is THROUGHPUT_POLICY
+    # sampled-vs-full encoder rows: bare sampler metrics are throughput
+    # (higher is better), but time-suffixed ones stay lower-is-better
+    assert policy_for("sampler_win_x") is THROUGHPUT_POLICY
+    assert policy_for("sampler_speedup") is THROUGHPUT_POLICY
+    assert policy_for("sampler_encode_seconds") is LOWER_BETTER_POLICY
     override = MetricPolicy(higher_is_better=False, rel_tol=0.01)
     assert policy_for("mrr", {"mrr": override}) is override
 

@@ -1,0 +1,91 @@
+"""Serving scoped cold-start: sampled decode on state-cache misses."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.data import generate_dataset
+from repro.nn.serialization import save_checkpoint
+from repro.serving import InferenceEngine
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset("unit_tiny")
+
+
+def _checkpoint(tmp_path, dataset, key="regcn", dim=16):
+    model = build_model(key, dataset.num_entities, dataset.num_relations, dim=dim)
+    path = str(tmp_path / f"{key}.npz")
+    save_checkpoint(model, path, metadata={
+        "format": 1,
+        "model": key,
+        "num_entities": dataset.num_entities,
+        "num_relations": dataset.num_relations,
+        "dim": dim,
+        "window": {"history_length": 2, "granularity": 2,
+                   "use_global": False, "track_vocabulary": False},
+    })
+    return path
+
+
+class TestScopedColdStart:
+    def test_cold_miss_served_scoped_then_warms_to_full(self, tmp_path, dataset):
+        path = _checkpoint(tmp_path, dataset)
+        engine = InferenceEngine.from_checkpoint(
+            path, scoped_cold_start="4,2", batch_window_s=0.0
+        )
+        assert engine.scoped_plan is not None
+        engine.store.warm_up(dataset.train)
+        engine.predict(0, 0, top_k=5)
+        modes = engine.stats()["encode_modes"]
+        assert modes["scoped"] == 1 and modes["full"] == 0
+        # background warm encode fills the state cache; the next query
+        # on the same window goes through the full plan
+        engine.join_warmups(timeout=30)
+        engine.predict(1, 0, top_k=5)
+        modes = engine.stats()["encode_modes"]
+        assert modes["full"] == 1 and modes["scoped"] == 1
+        assert engine.stats()["scoped_cold_start"] is not None
+
+    def test_scoped_scores_not_cached_as_predictions(self, tmp_path, dataset):
+        path = _checkpoint(tmp_path, dataset)
+        engine = InferenceEngine.from_checkpoint(
+            path, scoped_cold_start="4,2", batch_window_s=0.0
+        )
+        engine.store.warm_up(dataset.train)
+        engine.predict(0, 0, top_k=5)
+        # scoped scores are approximations: they must not poison the
+        # prediction cache that full-plan answers are served from
+        assert engine.cache.stats()["entries"] == 0
+        engine.join_warmups(timeout=30)
+        engine.predict(0, 0, top_k=5)
+        assert engine.cache.stats()["entries"] == 1
+
+    def test_full_coverage_spec_matches_full_plan_bitwise(self, tmp_path, dataset):
+        path = _checkpoint(tmp_path, dataset)
+        scoped_engine = InferenceEngine.from_checkpoint(
+            path, scoped_cold_start="full", batch_window_s=0.0
+        )
+        full_engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)
+        for engine in (scoped_engine, full_engine):
+            engine.store.warm_up(dataset.train)
+        a = scoped_engine.predict(0, 0, top_k=5)
+        b = full_engine.predict(0, 0, top_k=5)
+        assert [(p["entity"], p["score"]) for p in a] == [
+            (p["entity"], p["score"]) for p in b
+        ]
+
+    def test_disabled_without_spec_or_for_static_models(self, tmp_path, dataset):
+        path = _checkpoint(tmp_path, dataset)
+        assert InferenceEngine.from_checkpoint(path).scoped_plan is None
+        static_path = _checkpoint(tmp_path, dataset, key="distmult", dim=8)
+        engine = InferenceEngine.from_checkpoint(
+            static_path, scoped_cold_start="4,2"
+        )
+        assert engine.scoped_plan is None
+
+    def test_graph_cache_entries_override(self, tmp_path, dataset):
+        path = _checkpoint(tmp_path, dataset)
+        engine = InferenceEngine.from_checkpoint(path, graph_cache_entries=9)
+        assert engine.store._builder.cache_capacity == 9
