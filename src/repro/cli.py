@@ -227,6 +227,8 @@ def _cluster_config(args):
         batch_window_ms=args.batch_window_ms,
         graph_cache_entries=getattr(args, "graph_cache_entries", None),
         verbose=args.verbose,
+        trace=bool(getattr(args, "trace", None)),
+        request_log_entries=getattr(args, "request_log_entries", 256),
     )
 
 
@@ -235,6 +237,14 @@ def _run_cluster(args) -> int:
     from repro.serving import ClusterSupervisor
     from repro.serving.server import run_with_graceful_shutdown
 
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        # router-side tracing; workers get --trace-spans and return
+        # their spans in /decode replies, so the trace written on
+        # shutdown is the merged cross-process view
+        from repro.obs import enable_tracing
+
+        enable_tracing(reset=True)
     supervisor = ClusterSupervisor(_cluster_config(args))
     try:
         server = supervisor.start()
@@ -252,6 +262,7 @@ def _run_cluster(args) -> int:
     finally:
         server.server_close()
         supervisor.stop()
+        _finish_trace(trace_path)
     return 0
 
 
@@ -272,9 +283,17 @@ def _run_router_only(args) -> int:
         workers = attach_workers(urls)
     except (RuntimeError, ValueError) as exc:
         raise SystemExit(str(exc))
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing(reset=True)
     router = ClusterRouter(workers)
     server = create_router_server(
-        router, host=args.host, port=args.port, verbose=args.verbose
+        router,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        request_log_entries=getattr(args, "request_log_entries", 256),
     )
     print(
         f"cluster router at {server.url} fronting {len(workers)} "
@@ -287,6 +306,7 @@ def _run_router_only(args) -> int:
         pass
     finally:
         server.server_close()
+        _finish_trace(args.trace)
     return 0
 
 
@@ -305,7 +325,13 @@ def cmd_serve(args) -> int:
 
         enable_tracing(reset=True)
     engine = _build_engine(args)
-    server = create_server(engine, host=args.host, port=args.port, verbose=args.verbose)
+    server = create_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        request_log_entries=getattr(args, "request_log_entries", 256),
+    )
     print(f"serving {engine.model_key} at {server.url}  (Ctrl-C to stop)", flush=True)
     try:
         run_with_graceful_shutdown(server)
@@ -336,6 +362,12 @@ def cmd_cluster_worker(args) -> int:
     from repro.serving.cluster import READY_PREFIX, build_shard_engine
     from repro.serving.server import run_with_graceful_shutdown
 
+    if getattr(args, "trace_spans", False):
+        # in-memory spans only: the router collects them over /decode
+        # and owns the merged trace file
+        from repro.obs import enable_tracing
+
+        enable_tracing(reset=True)
     engine = build_shard_engine(
         args.checkpoint,
         shard_index=args.shard_index,
@@ -347,7 +379,12 @@ def cmd_cluster_worker(args) -> int:
         graph_cache_entries=args.graph_cache_entries,
     )
     _warm_store(engine.store, args.warmup, args.warmup_splits)
-    server = create_worker_server(engine, host=args.host, port=args.port)
+    server = create_worker_server(
+        engine,
+        host=args.host,
+        port=args.port,
+        request_log_entries=getattr(args, "request_log_entries", 256),
+    )
     print(
         READY_PREFIX
         + _json.dumps({"url": server.url, "shard": engine.shard.as_dict()}),
@@ -744,7 +781,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: a fresh temp dir)")
     p.add_argument("--verbose", action="store_true", help="log every request")
     p.add_argument("--trace", default=None, metavar="PATH",
-                   help="record request spans; written on shutdown")
+                   help="record request spans; written on shutdown (with "
+                        "--workers/--worker-urls: one merged cross-process trace)")
+    p.add_argument("--request-log-entries", type=int, default=256, metavar="N",
+                   help="per-request audit ring capacity for GET /debug/requests "
+                        "(0 disables; default 256)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -767,6 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="WindowBuilder graph-cache LRU capacity override")
     p.add_argument("--batch-window-ms", type=float, default=0.0)
     p.add_argument("--verbose", action="store_true", help="log every request")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record router+worker spans; one merged Chrome trace "
+                        "written on shutdown")
+    p.add_argument("--request-log-entries", type=int, default=256, metavar="N",
+                   help="per-request audit ring capacity on router and workers "
+                        "(0 disables; default 256)")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser(
@@ -786,6 +833,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-cache-entries", type=int, default=8)
     p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N")
     p.add_argument("--batch-window-ms", type=float, default=0.0)
+    p.add_argument("--trace-spans", action="store_true",
+                   help="record spans in memory and return them on /decode "
+                        "(the router merges and writes the trace file)")
+    p.add_argument("--request-log-entries", type=int, default=256, metavar="N",
+                   help="per-request audit ring capacity (0 disables)")
     p.set_defaults(func=cmd_cluster_worker)
 
     p = sub.add_parser("ingest", help="stream events to a running server")

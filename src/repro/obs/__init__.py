@@ -61,7 +61,10 @@ from repro.obs.runs import (
 )
 from repro.obs.trace import (
     SpanRecord,
+    TraceContext,
     Tracer,
+    activate,
+    current_context,
     disable_tracing,
     enable_tracing,
     get_tracer,
@@ -83,10 +86,13 @@ __all__ = [
     "RunLedger",
     "SCHEMA_VERSION",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "TrainingAborted",
     "WatchdogPolicy",
+    "activate",
     "active_profiler",
+    "current_context",
     "build_record",
     "config_fingerprint",
     "configure_logging",

@@ -44,8 +44,10 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "PromSample",
     "REGISTRY",
     "get_registry",
+    "parse_prometheus_text",
     "DEFAULT_BUCKETS",
 ]
 
@@ -479,3 +481,88 @@ REGISTRY = MetricsRegistry()
 def get_registry() -> MetricsRegistry:
     """The process-wide default registry (what ``GET /metrics`` renders)."""
     return REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition parsing (the inverse of render_prometheus),
+# used by the cluster router to federate worker /metrics scrapes.
+# ----------------------------------------------------------------------
+
+class PromSample:
+    """One parsed exposition sample: name, labels, value, family type."""
+
+    __slots__ = ("name", "labels", "value", "type")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float, type: str):
+        self.name = name
+        self.labels = labels
+        self.value = value
+        self.type = type
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PromSample({self.name!r}, {self.labels!r}, {self.value!r}, {self.type!r})"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_exposition_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def parse_prometheus_text(text: str) -> List[PromSample]:
+    """Parse a Prometheus text-format (0.0.4) page into samples.
+
+    Covers the subset this repo emits — ``# HELP`` / ``# TYPE`` comment
+    lines, optional ``{label="value"}`` sets with escapes, float values
+    (``+Inf``/``-Inf``/``NaN``), optional trailing timestamps.  Each
+    sample carries its family's declared type (histogram samples keep
+    the ``_bucket``/``_sum``/``_count`` suffix in ``name``); malformed
+    lines are skipped rather than failing the whole scrape.
+    """
+    types: Dict[str, str] = {}
+    samples: List[PromSample] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        name = match.group("name")
+        try:
+            value = _parse_exposition_value(match.group("value"))
+        except ValueError:
+            continue
+        labels = {
+            key: _unescape_label_value(raw)
+            for key, raw in _LABEL_PAIR_RE.findall(match.group("labels") or "")
+        }
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        samples.append(PromSample(name, labels, value, types.get(family, "untyped")))
+    return samples

@@ -56,12 +56,20 @@ class MetricPolicy:
 _QUALITY_HINTS = ("mrr", "hits", "accuracy", "auc", "precision", "recall")
 _LOWER_BETTER_HINTS = (
     "loss", "latency", "_ms", "wall_time", "seconds", "p50", "p95", "p99",
+    # cluster audit-plane latency series (repro_*request_latency* and the
+    # router's scatter/gather timings already end in seconds/latency, but
+    # the fragment keeps renamed exports on the right side of the fence)
+    "request_latency",
 )
 _THROUGHPUT_HINTS = (
     "per_second", "qps", "steps_s", "blk_s", "throughput", "speedup", "hit_rate",
     # sampled-vs-full encoder rows (sampler_speedup, sampler_win_x, ...);
     # time-suffixed sampler metrics still land on LOWER_BETTER first
     "sampler",
+    # federated repro_cluster_* families: request/scrape counts grow with
+    # load, so treat them as loose (30%) higher-is-better series; any
+    # *latency*/*seconds* cluster series matched LOWER_BETTER above
+    "cluster_", "scrape",
 )
 
 QUALITY_POLICY = MetricPolicy(higher_is_better=True, rel_tol=0.05, abs_tol=0.25)

@@ -12,7 +12,8 @@ request / training epoch spend its time" — as a tree::
 
 Spans nest per thread (a thread-local stack tracks the open span), can
 carry arbitrary attributes, and are bounded: after ``max_spans``
-finished spans the tracer counts drops instead of growing without
+finished spans the tracer counts drops (also exported as the
+``repro_trace_spans_dropped_total`` counter) instead of growing without
 limit.
 
 Instrumentation call sites use the module-level :func:`span` helper,
@@ -20,6 +21,31 @@ which returns a shared no-op context manager while tracing is disabled
 — the fast path is one global flag check and no allocation, so the
 serving and training hot paths pay nothing until ``--trace`` turns the
 tracer on.
+
+Distributed traces
+------------------
+
+Every span carries a W3C-style identity: a 32-hex ``trace_id`` shared
+by the whole request tree and a 16-hex ``span_id`` per span
+(``parent_span_id`` encodes the edge).  :class:`TraceContext` is the
+wire form — ``inject``/``extract`` move it through HTTP headers as a
+``traceparent: 00-<trace_id>-<span_id>-01`` header — and
+:meth:`Tracer.activate` installs a *remote* parent on the current
+thread so the next root span continues the caller's trace instead of
+starting a new one::
+
+    # server side, per request
+    ctx = TraceContext.extract(request_headers)
+    with get_tracer().activate(ctx):
+        with span("http.request", route=route):
+            ...
+
+Cross-process stitching: a worker serializes one request's spans with
+:meth:`Tracer.export_trace` (absolute epoch timestamps, process
+labels), ships them in its JSON response, and the caller folds them
+into its own tracer with :meth:`Tracer.adopt` — producing one Chrome
+trace whose spans share a single ``trace_id`` across processes, each
+under a process-qualified lane.
 """
 
 from __future__ import annotations
@@ -29,11 +55,15 @@ import json
 import os
 import threading
 import time
-from typing import Dict, List, Optional
+import uuid
+from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "activate",
+    "current_context",
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
@@ -42,10 +72,96 @@ __all__ = [
 ]
 
 
+def new_trace_id() -> str:
+    """A fresh 32-hex trace id (W3C trace-context width)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex span id."""
+    return uuid.uuid4().hex[:16]
+
+
+class TraceContext:
+    """One (trace_id, span_id) pair — the propagated identity of a span.
+
+    This is what crosses process boundaries: the ``traceparent`` header
+    carries the caller's trace id plus the id of the span that should
+    become the remote parent of whatever the callee does.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    HEADER = "traceparent"
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = str(trace_id)
+        self.span_id = str(span_id)
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        return cls(new_trace_id(), new_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id (a synthetic child hop)."""
+        return TraceContext(self.trace_id, new_span_id())
+
+    # ------------------------------------------------------------------
+    def to_traceparent(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def parse_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse ``00-<32 hex>-<16 hex>-<flags>``; None when malformed."""
+        if not header or not isinstance(header, str):
+            return None
+        parts = header.strip().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, _flags = parts
+        if len(version) != 2 or len(trace_id) != 32 or len(span_id) != 16:
+            return None
+        try:
+            int(trace_id, 16), int(span_id, 16)
+        except ValueError:
+            return None
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None
+        return cls(trace_id, span_id)
+
+    def inject(self, headers: Dict[str, str]) -> Dict[str, str]:
+        """Write the ``traceparent`` header into ``headers``; returns it."""
+        headers[self.HEADER] = self.to_traceparent()
+        return headers
+
+    @classmethod
+    def extract(cls, headers) -> Optional["TraceContext"]:
+        """Read a context from a headers mapping (case-insensitive get)."""
+        if headers is None:
+            return None
+        get = getattr(headers, "get", None)
+        if get is None:
+            return None
+        return cls.parse_traceparent(get(cls.HEADER) or get("Traceparent"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id!r}, {self.span_id!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+
 class SpanRecord:
     """One finished (or open) span in the trace tree."""
 
-    __slots__ = ("name", "start", "end", "parent", "thread_id", "attrs")
+    __slots__ = (
+        "name", "start", "end", "parent", "thread_id", "attrs",
+        "trace_id", "span_id", "parent_span_id", "pid", "process",
+    )
 
     def __init__(self, name: str, start: float, parent: Optional["SpanRecord"], thread_id: int, attrs: Dict):
         self.name = name
@@ -54,10 +170,19 @@ class SpanRecord:
         self.parent = parent
         self.thread_id = thread_id
         self.attrs = attrs
+        self.trace_id: Optional[str] = None
+        self.span_id: str = new_span_id()
+        self.parent_span_id: Optional[str] = None
+        self.pid: int = os.getpid()
+        self.process: Optional[str] = None
 
     @property
     def duration(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
+
+    def context(self) -> TraceContext:
+        """The propagable identity of this span."""
+        return TraceContext(self.trace_id or new_trace_id(), self.span_id)
 
 
 class _SpanContext:
@@ -94,15 +219,54 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _RemoteContext:
+    """Context manager installing a remote parent on the current thread."""
+
+    __slots__ = ("_tracer", "_ctx", "_installed")
+
+    def __init__(self, tracer: "Tracer", ctx: Optional[TraceContext]):
+        self._tracer = tracer
+        self._ctx = ctx
+        self._installed = False
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self._ctx is not None:
+            self._tracer._remote_stack().append(self._ctx)
+            self._installed = True
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._installed:
+            stack = self._tracer._remote_stack()
+            if stack and stack[-1] is self._ctx:
+                stack.pop()
+
+
+def _dropped_counter():
+    """The registry counter for spans lost past ``max_spans``.
+
+    Created lazily (and idempotently) so importing the tracer does not
+    force the metrics module into minimal embedders.
+    """
+    from repro.obs.metrics import get_registry
+
+    return get_registry().counter(
+        "repro_trace_spans_dropped_total",
+        "Tracer spans dropped because the max_spans ring was full.",
+    )
+
+
 class Tracer:
     """Collects spans; thread-safe; bounded at ``max_spans`` records."""
 
     def __init__(self, max_spans: int = 100_000, clock=time.perf_counter):
         self._clock = clock
         self._t0 = clock()
+        self._epoch0 = time.time()
         self._local = threading.local()
         self._lock = threading.Lock()
         self._spans: List[SpanRecord] = []
+        self._by_id: Dict[str, SpanRecord] = {}
         self.max_spans = int(max_spans)
         self.dropped = 0
 
@@ -118,21 +282,57 @@ class Tracer:
         )
         return _SpanContext(self, record)
 
+    def activate(self, ctx: Optional[TraceContext]) -> _RemoteContext:
+        """Adopt ``ctx`` as the remote parent for this thread's next roots.
+
+        ``None`` is accepted and is a no-op, so call sites can write
+        ``with tracer.activate(TraceContext.extract(headers)):``
+        unconditionally.
+        """
+        return _RemoteContext(self, ctx)
+
     def _stack(self) -> List[SpanRecord]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
 
+    def _remote_stack(self) -> List[TraceContext]:
+        stack = getattr(self._local, "remote", None)
+        if stack is None:
+            stack = self._local.remote = []
+        return stack
+
     def _current(self) -> Optional[SpanRecord]:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_context(self) -> Optional[TraceContext]:
+        """Identity of the innermost open span (or the active remote one)."""
+        record = self._current()
+        if record is not None:
+            return record.context()
+        remote = self._remote_stack()
+        return remote[-1] if remote else None
+
     def _push(self, record: SpanRecord) -> None:
         # Re-anchor: nesting is decided at __enter__, not at span() call.
-        record.parent = self._current()
+        parent = self._current()
+        record.parent = parent
         record.start = self._clock() - self._t0
+        if parent is not None:
+            record.trace_id = parent.trace_id
+            record.parent_span_id = parent.span_id
+        else:
+            remote = self._remote_stack()
+            if remote:
+                record.trace_id = remote[-1].trace_id
+                record.parent_span_id = remote[-1].span_id
+            else:
+                record.trace_id = new_trace_id()
         self._stack().append(record)
+        with self._lock:
+            self._by_id[record.span_id] = record
 
     def _pop(self, record: SpanRecord) -> None:
         record.end = self._clock() - self._t0
@@ -142,15 +342,22 @@ class Tracer:
         with self._lock:
             if len(self._spans) >= self.max_spans:
                 self.dropped += 1
+                self._by_id.pop(record.span_id, None)
+                dropped = True
             else:
                 self._spans.append(record)
+                dropped = False
+        if dropped:
+            _dropped_counter().inc()
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._by_id.clear()
             self.dropped = 0
         self._t0 = self._clock()
+        self._epoch0 = time.time()
 
     def spans(self) -> List[SpanRecord]:
         """Finished spans, ordered by start time."""
@@ -162,11 +369,134 @@ class Tracer:
             return len(self._spans)
 
     # ------------------------------------------------------------------
+    # cross-process export / import
+    # ------------------------------------------------------------------
+    def _record_to_dict(self, record: SpanRecord, process: Optional[str]) -> Dict:
+        end = record.end if record.end is not None else self._clock() - self._t0
+        return {
+            "name": record.name,
+            "trace_id": record.trace_id,
+            "span_id": record.span_id,
+            "parent_span_id": record.parent_span_id,
+            "start_epoch": self._epoch0 + record.start,
+            "end_epoch": self._epoch0 + end,
+            "thread_id": record.thread_id,
+            "pid": record.pid,
+            "process": process if process is not None else record.process,
+            "attrs": {k: _jsonable(v) for k, v in record.attrs.items()},
+        }
+
+    def export_trace(self, trace_id: str, process: Optional[str] = None) -> List[Dict]:
+        """Serialize one trace's spans for shipping to another process.
+
+        Returns JSON-able dicts with *absolute* epoch timestamps so the
+        receiving tracer can re-anchor them onto its own clock.  Spans
+        still open on the **calling thread's** stack (e.g. the enclosing
+        ``http.request`` span of the request being answered) are
+        included sealed at "now", so the receiver gets an intact parent
+        chain.  ``process`` labels the exported spans the calling thread
+        produced (the receiver renders it as the Chrome process lane
+        name); spans another thread contributed to the same trace keep
+        their own label — in the shared-tracer in-process cluster, two
+        workers exporting the same trace must not steal each other's
+        spans into their lane.
+        """
+        me = threading.get_ident()
+
+        def _label(record: SpanRecord) -> Optional[str]:
+            return process if record.thread_id == me else record.process
+
+        out = []
+        with self._lock:
+            finished = [r for r in self._spans if r.trace_id == trace_id]
+        for record in finished:
+            out.append(self._record_to_dict(record, _label(record)))
+        exported = {d["span_id"] for d in out}
+        for record in self._stack():
+            if record.trace_id == trace_id and record.span_id not in exported:
+                out.append(self._record_to_dict(record, _label(record)))
+        out.sort(key=lambda d: d["start_epoch"])
+        return out
+
+    def adopt(self, records: Iterable[Dict]) -> int:
+        """Fold spans exported by another tracer into this one.
+
+        Timestamps are re-anchored from absolute epoch time onto this
+        tracer's clock; parent/child edges ride on ``parent_span_id``
+        and survive the hop.  A span whose id is already known (the
+        same-process "local cluster" case, where router and workers
+        share one tracer) is not duplicated — only its process label is
+        refreshed.  Returns the number of newly added spans; spans past
+        ``max_spans`` are counted as dropped.
+        """
+        added = 0
+        for d in records:
+            span_id = d.get("span_id")
+            if not span_id:
+                continue
+            with self._lock:
+                known = self._by_id.get(span_id)
+                if known is not None:
+                    if d.get("process"):
+                        known.process = d["process"]
+                    if d.get("pid"):
+                        known.pid = int(d["pid"])
+                    continue
+                record = SpanRecord(
+                    str(d.get("name", "span")),
+                    float(d["start_epoch"]) - self._epoch0,
+                    None,
+                    int(d.get("thread_id", 0)),
+                    dict(d.get("attrs") or {}),
+                )
+                record.end = float(d["end_epoch"]) - self._epoch0
+                record.trace_id = d.get("trace_id")
+                record.span_id = str(span_id)
+                record.parent_span_id = d.get("parent_span_id")
+                record.pid = int(d.get("pid") or os.getpid())
+                record.process = d.get("process")
+                if len(self._spans) >= self.max_spans:
+                    self.dropped += 1
+                    dropped = True
+                else:
+                    self._spans.append(record)
+                    self._by_id[record.span_id] = record
+                    added += 1
+                    dropped = False
+            if dropped:
+                _dropped_counter().inc()
+        return added
+
+    # ------------------------------------------------------------------
     def to_chrome_trace(self) -> Dict[str, object]:
-        """Chrome ``trace_event`` JSON (complete 'X' events, µs units)."""
-        pid = os.getpid()
-        events = []
-        for record in self.spans():
+        """Chrome ``trace_event`` JSON (complete 'X' events, µs units).
+
+        Spans adopted from other processes keep their own ``pid`` and
+        ``process`` label; each distinct (pid, process) pair becomes a
+        named Chrome process lane via ``process_name`` metadata events,
+        so a merged cluster trace reads "router" / "worker shard0" /
+        "worker shard1" instead of anonymous pids.
+        """
+        spans = self.spans()
+        display = _display_pids(spans)
+        events: List[Dict] = []
+        for (pid, process), display_pid in sorted(display.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": display_pid,
+                    "tid": 0,
+                    "args": {"name": process if process else f"pid {pid}"},
+                }
+            )
+        for record in spans:
+            args = {k: _jsonable(v) for k, v in record.attrs.items()}
+            if record.trace_id:
+                args["trace_id"] = record.trace_id
+                args["span_id"] = record.span_id
+                if record.parent_span_id:
+                    args["parent_span_id"] = record.parent_span_id
             events.append(
                 {
                     "name": record.name,
@@ -174,9 +504,9 @@ class Tracer:
                     "ph": "X",
                     "ts": round(record.start * 1e6, 3),
                     "dur": round(record.duration * 1e6, 3),
-                    "pid": pid,
+                    "pid": display[(record.pid, record.process)],
                     "tid": record.thread_id,
-                    "args": {k: _jsonable(v) for k, v in record.attrs.items()},
+                    "args": args,
                 }
             )
         return {
@@ -193,19 +523,23 @@ class Tracer:
     def format_tree(self) -> str:
         """Indented per-thread tree dump with durations and attributes."""
         spans = self.spans()
-        children: Dict[Optional[int], List[SpanRecord]] = {}
+        by_id = {record.span_id: record for record in spans}
+        children: Dict[Optional[str], List[SpanRecord]] = {}
         for record in spans:
-            key = id(record.parent) if record.parent is not None else None
-            children.setdefault(key, []).append(record)
+            parent_id = record.parent_span_id
+            if parent_id is not None and parent_id not in by_id:
+                parent_id = None  # orphan: parent dropped or not exported
+            children.setdefault(parent_id, []).append(record)
         out = io.StringIO()
 
         def walk(record: SpanRecord, depth: int) -> None:
             attrs = " ".join(f"{k}={v}" for k, v in record.attrs.items())
             attrs = f"  [{attrs}]" if attrs else ""
+            process = f"  ({record.process})" if record.process else ""
             out.write(
-                f"{'  ' * depth}{record.name}  {record.duration * 1e3:.3f} ms{attrs}\n"
+                f"{'  ' * depth}{record.name}  {record.duration * 1e3:.3f} ms{process}{attrs}\n"
             )
-            for child in children.get(id(record), []):
+            for child in children.get(record.span_id, []):
                 walk(child, depth + 1)
 
         roots = children.get(None, [])
@@ -219,6 +553,32 @@ class Tracer:
         if self.dropped:
             out.write(f"({self.dropped} spans dropped past max_spans={self.max_spans})\n")
         return out.getvalue()
+
+
+def _display_pids(spans: List[SpanRecord]) -> Dict[Tuple[int, Optional[str]], int]:
+    """Map distinct (pid, process-label) pairs to display pids.
+
+    Real pids are kept whenever unambiguous; when several labels share
+    one OS pid (the in-process cluster: router and worker threads in one
+    interpreter), each extra label gets a synthetic lane id so Chrome
+    renders them as separate named processes.
+    """
+    pairs: List[Tuple[int, Optional[str]]] = []
+    for record in spans:
+        key = (record.pid, record.process)
+        if key not in pairs:
+            pairs.append(key)
+    if not pairs:
+        pairs = [(os.getpid(), None)]
+    display: Dict[Tuple[int, Optional[str]], int] = {}
+    used = set()
+    for pid, process in pairs:
+        candidate = pid
+        while candidate in used:
+            candidate += 1_000_000
+        display[(pid, process)] = candidate
+        used.add(candidate)
+    return display
 
 
 def _jsonable(value):
@@ -265,3 +625,18 @@ def span(name: str, **attrs):
     if not _ENABLED:
         return _NULL_SPAN
     return _GLOBAL_TRACER.span(name, **attrs)
+
+
+def current_context() -> Optional[TraceContext]:
+    """Propagable identity of the global tracer's innermost open span.
+
+    Falls back to the remote context installed by :func:`activate`
+    (useful even while tracing is disabled — request-id plumbing still
+    wants one coherent trace id per request).
+    """
+    return _GLOBAL_TRACER.current_context()
+
+
+def activate(ctx: Optional[TraceContext]) -> _RemoteContext:
+    """Install a remote parent on the global tracer for this thread."""
+    return _GLOBAL_TRACER.activate(ctx)

@@ -29,8 +29,10 @@ Quickstart::
     python -m repro.cli predict --url http://127.0.0.1:8420 3 1 --top-k 5
 """
 
+from repro.serving.audit import AUDIT_DEFAULT_CAPACITY, RequestAudit
 from repro.serving.cache import LRUCache
 from repro.serving.client import ServingClient, ServingError
+from repro.serving.federation import ClusterMetricsFederator, federated_name
 from repro.serving.cluster import (
     ClusterConfig,
     ClusterSupervisor,
@@ -60,7 +62,9 @@ from repro.serving.stats import EndpointStats, ServerStats
 from repro.serving.store import OnlineHistoryStore
 
 __all__ = [
+    "AUDIT_DEFAULT_CAPACITY",
     "ClusterConfig",
+    "ClusterMetricsFederator",
     "ClusterRouter",
     "ClusterSupervisor",
     "DrainableHTTPServer",
@@ -71,6 +75,7 @@ __all__ = [
     "LocalCluster",
     "MicroBatcher",
     "OnlineHistoryStore",
+    "RequestAudit",
     "RouterServer",
     "ServerStats",
     "ServingClient",
@@ -85,6 +90,7 @@ __all__ = [
     "create_router_server",
     "create_server",
     "create_worker_server",
+    "federated_name",
     "launch_local_cluster",
     "partition_entities",
     "run_with_graceful_shutdown",

@@ -1,0 +1,107 @@
+"""Per-request audit ring: the "what just happened" plane.
+
+Metrics aggregate and traces need `--trace` turned on; the audit ring
+answers the middle question — *which recent requests were slow, and
+where did each one spend its time* — continuously and cheaply.  Every
+HTTP request through :class:`~repro.serving.server.BaseJSONHandler`
+appends one bounded entry (request id, trace id, route, status, total
+latency, and whatever detail the handler attached: per-shard latency
+breakdown on the router, encode mode on the engine, degraded/partial
+status).  ``GET /debug/requests?slowest=N`` reads it back; a structured
+``http.access`` log event mirrors each entry for log pipelines.
+
+The ring is a ``deque(maxlen=capacity)`` under a lock: O(1) append,
+drop-oldest, a few hundred dict entries of memory — safe to leave on in
+production (``--request-log-entries 0`` disables it entirely).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["RequestAudit", "AUDIT_DEFAULT_CAPACITY"]
+
+AUDIT_DEFAULT_CAPACITY = 256
+
+
+class RequestAudit:
+    """Thread-safe bounded ring of per-request audit entries."""
+
+    def __init__(self, capacity: int = AUDIT_DEFAULT_CAPACITY):
+        self.capacity = max(0, int(capacity))
+        self._ring: deque = deque(maxlen=self.capacity or 1)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(
+        self,
+        route: str,
+        status: int,
+        latency_ms: float,
+        request_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        **detail,
+    ) -> Optional[Dict]:
+        """Append one entry; returns it (or None when disabled).
+
+        ``detail`` carries handler-specific fields — per-shard latency
+        breakdowns, encode mode, ``partial`` status — flattened into the
+        entry; ``None`` values are dropped.
+        """
+        if not self.enabled:
+            return None
+        entry = {
+            "ts": time.time(),
+            "route": route,
+            "status": int(status),
+            "latency_ms": round(float(latency_ms), 3),
+            "request_id": request_id,
+            "trace_id": trace_id,
+        }
+        for key, value in detail.items():
+            if value is not None:
+                entry[key] = value
+        with self._lock:
+            self._ring.append(entry)
+            self._total += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict]:
+        """Newest-first copy of the ring."""
+        with self._lock:
+            return [dict(e) for e in reversed(self._ring)]
+
+    def slowest(self, n: int) -> List[Dict]:
+        """The ``n`` highest-latency entries currently in the ring."""
+        with self._lock:
+            ranked = sorted(self._ring, key=lambda e: e["latency_ms"], reverse=True)
+        return [dict(e) for e in ranked[: max(0, int(n))]]
+
+    @property
+    def total(self) -> int:
+        """Requests recorded since start (including ones since evicted)."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def snapshot(self, slowest: Optional[int] = None) -> Dict:
+        """The ``GET /debug/requests`` payload."""
+        entries = self.slowest(slowest) if slowest else self.entries()
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "returned": len(entries),
+            "order": "slowest" if slowest else "newest",
+            "entries": entries,
+        }

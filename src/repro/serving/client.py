@@ -11,6 +11,8 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.trace import current_context
+
 
 class ServingError(RuntimeError):
     """The server answered with an error status (body included)."""
@@ -21,23 +23,41 @@ class ServingError(RuntimeError):
 
 
 class ServingClient:
-    """Blocking JSON client for one serving endpoint."""
+    """Blocking JSON client for one serving endpoint.
+
+    Requests automatically carry a ``traceparent`` header when the
+    calling thread has an open span (or activated remote context), so a
+    client-side ``with span(...)`` is all it takes to stitch the
+    server's work into the caller's distributed trace.
+    """
 
     def __init__(self, base_url: str, timeout: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+    def _open(self, method: str, path: str, body: Optional[Dict], headers: Optional[Dict]):
         data = json.dumps(body).encode("utf-8") if body is not None else None
+        merged: Dict[str, str] = {"Content-Type": "application/json"} if data else {}
+        ctx = current_context()
+        if ctx is not None:
+            ctx.inject(merged)
+        if headers:
+            merged.update({k: v for k, v in headers.items() if v is not None})
         request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            self.base_url + path, data=data, method=method, headers=merged
         )
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        headers: Optional[Dict] = None,
+    ) -> Dict:
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with self._open(method, path, body, headers) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             try:
@@ -49,9 +69,19 @@ class ServingClient:
             raise ServingError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
 
     # ------------------------------------------------------------------
-    def post(self, path: str, body: Dict) -> Dict:
+    def post(self, path: str, body: Dict, headers: Optional[Dict] = None) -> Dict:
         """POST an arbitrary JSON body (cluster-internal routes)."""
-        return self._request("POST", path, body)
+        return self._request("POST", path, body, headers=headers)
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition from ``GET /metrics`` (plain text)."""
+        try:
+            with self._open("GET", "/metrics", None, None) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServingError(exc.code, str(exc.reason)) from exc
+        except urllib.error.URLError as exc:
+            raise ServingError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
 
     def health(self) -> Dict:
         return self._request("GET", "/health")

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.nn.serialization import read_checkpoint_metadata
+from repro.serving.audit import AUDIT_DEFAULT_CAPACITY
 from repro.serving.router import (
     ClusterRouter,
     RouterServer,
@@ -70,6 +71,9 @@ class ClusterConfig:
     restart_limit: int = 3
     monitor_interval_s: float = 0.5
     verbose: bool = False
+    trace: bool = False
+    request_log_entries: int = AUDIT_DEFAULT_CAPACITY
+    metrics_ttl_s: float = 5.0
 
 
 def build_shard_engine(
@@ -276,7 +280,10 @@ def spawn_worker(
         "--cache-entries", str(config.cache_entries),
         "--state-cache-entries", str(config.state_cache_entries),
         "--batch-window-ms", str(config.batch_window_ms),
+        "--request-log-entries", str(config.request_log_entries),
     ]
+    if config.trace:
+        cmd += ["--trace-spans"]
     if config.graph_cache_entries is not None:
         cmd += ["--graph-cache-entries", str(config.graph_cache_entries)]
     if config.warmup:
@@ -344,6 +351,8 @@ class ClusterSupervisor:
             host=self.config.host,
             port=self.config.port,
             verbose=self.config.verbose,
+            request_log_entries=self.config.request_log_entries,
+            metrics_ttl_s=self.config.metrics_ttl_s,
         )
         self._monitor = threading.Thread(target=self._monitor_loop, daemon=True)
         self._monitor.start()
@@ -465,12 +474,16 @@ def launch_local_cluster(
     port: int = 0,
     timeout_s: float = 30.0,
     on_failure=None,
+    request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
+    metrics_ttl_s: float = 0.0,
 ) -> LocalCluster:
     """Wire ready-made shard engines into a threaded cluster.
 
     Every engine gets its own :class:`ShardWorkerServer` on a daemon
     thread, and a router frontend scatters across them — the full HTTP
     path (JSON round-trips included) without subprocess start-up cost.
+    ``metrics_ttl_s`` defaults to 0 (scrape on every render) so tests
+    read fresh federated values.
     """
     worker_servers: List[ShardWorkerServer] = []
     threads: List[threading.Thread] = []
@@ -485,7 +498,13 @@ def launch_local_cluster(
         timeout_s=timeout_s,
         on_failure=on_failure,
     )
-    server = create_router_server(router, host=host, port=port)
+    server = create_router_server(
+        router,
+        host=host,
+        port=port,
+        request_log_entries=request_log_entries,
+        metrics_ttl_s=metrics_ttl_s,
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     threads.append(thread)

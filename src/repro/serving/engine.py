@@ -197,6 +197,10 @@ class InferenceEngine:
         self._warming: set = set()
         self._warm_threads: List[threading.Thread] = []
         self._batcher = MicroBatcher(self._execute_batch, window_s=batch_window_s)
+        # best-effort "how was the most recent batch answered" snapshot
+        # for the audit plane; written under the batcher's execution,
+        # read without a lock (a dict replace is atomic in CPython)
+        self.last_batch_info: Optional[Dict[str, object]] = None
         self._model_lock = threading.Lock()
         self._predict_calls = 0
         self._queries_served = 0
@@ -335,6 +339,11 @@ class InferenceEngine:
             mode = "scoped" if scoped else "full"
             self._encode_counters[mode].inc()
             self._encode_mode_counts[mode] += 1
+            self.last_batch_info = {
+                "encode_mode": mode,
+                "batch": len(pairs),
+                "cache_misses": len(todo),
+            }
             for i, pair in enumerate(todo):
                 results[pair] = scores[i]
                 if not scoped:
@@ -344,6 +353,12 @@ class InferenceEngine:
                     self.cache.put(self._cache_key(pair, version), scores[i])
             if scoped:
                 self._spawn_warmup(window)
+        else:
+            self.last_batch_info = {
+                "encode_mode": "cached",
+                "batch": len(pairs),
+                "cache_misses": 0,
+            }
         return results
 
     # ------------------------------------------------------------------

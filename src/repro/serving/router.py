@@ -41,9 +41,16 @@ import numpy as np
 from repro.core.execution import merge_topk
 from repro.obs.health import health_counter
 from repro.obs.metrics import get_registry
-from repro.obs.trace import span
+from repro.obs.trace import TraceContext, get_tracer, span, tracing_enabled
+from repro.serving.audit import AUDIT_DEFAULT_CAPACITY, RequestAudit
 from repro.serving.client import ServingClient, ServingError
-from repro.serving.server import BadRequest, BaseJSONHandler, DrainableHTTPServer
+from repro.serving.federation import ClusterMetricsFederator
+from repro.serving.server import (
+    REQUEST_ID_HEADER,
+    BadRequest,
+    BaseJSONHandler,
+    DrainableHTTPServer,
+)
 from repro.serving.shard import EntityShard
 from repro.serving.stats import ServerStats
 
@@ -164,27 +171,44 @@ class ClusterRouter:
             worker.set_url(url, timeout=self.timeout_s)
         worker.alive = True
 
-    def _call(self, worker: WorkerRef, path: str, body: Dict) -> Dict:
+    def _call(
+        self,
+        worker: WorkerRef,
+        path: str,
+        body: Dict,
+        ctx: Optional[TraceContext] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[Dict, float]:
         """One scatter leg: POST with a single retry, then mark dead.
 
-        Raises the final :class:`ServingError` after marking the worker
-        dead and notifying ``on_failure``.
+        Runs on a scatter-pool thread, so the request thread's trace
+        context (``ctx``) is re-activated here explicitly — thread-local
+        span stacks do not cross the pool boundary.  The leg opens its
+        own ``cluster.scatter`` span; the client injects its context as
+        the ``traceparent`` header, so the worker's spans hang off this
+        leg in the merged trace.  Returns ``(payload, leg_ms)``; raises
+        the final error after marking the worker dead and notifying
+        ``on_failure``.
         """
         shard_label = str(worker.shard.index)
         self._requests.labels(shard=shard_label).inc()
+        headers = {REQUEST_ID_HEADER: request_id} if request_id else None
         last_error: Optional[Exception] = None
-        for attempt in (0, 1):
-            started = time.perf_counter()
-            try:
-                payload = worker.client.post(path, body)
-                self._scatter_latency.labels(shard=shard_label).observe(
-                    time.perf_counter() - started
-                )
-                return payload
-            except Exception as exc:
-                last_error = exc
-                if isinstance(exc, ServingError) and exc.status == 400:
-                    raise  # our request is malformed; retry cannot help
+        leg_started = time.perf_counter()
+        with get_tracer().activate(ctx):
+            with span("cluster.scatter", shard=worker.shard.index, path=path):
+                for attempt in (0, 1):
+                    started = time.perf_counter()
+                    try:
+                        payload = worker.client.post(path, body, headers=headers)
+                        self._scatter_latency.labels(shard=shard_label).observe(
+                            time.perf_counter() - started
+                        )
+                        return payload, (time.perf_counter() - leg_started) * 1e3
+                    except Exception as exc:
+                        last_error = exc
+                        if isinstance(exc, ServingError) and exc.status == 400:
+                            raise  # our request is malformed; retry cannot help
         self._failures.labels(shard=shard_label).inc()
         worker.alive = False
         if self.on_failure is not None:
@@ -194,49 +218,99 @@ class ClusterRouter:
                 pass
         raise last_error
 
-    def _scatter(self, path: str, body: Dict) -> List[Tuple[WorkerRef, Optional[Dict]]]:
-        """POST ``body`` to every live worker; failed legs come back None."""
+    def _scatter(
+        self, path: str, body: Dict, request_id: Optional[str] = None
+    ) -> List[Tuple[WorkerRef, Optional[Dict], Dict]]:
+        """POST ``body`` to every live worker; failed legs come back None.
+
+        Returns ``(worker, payload_or_None, leg)`` triples where ``leg``
+        is the audit-plane breakdown for that shard (latency, ok flag).
+        """
         live = self.live_workers()
+        ctx = get_tracer().current_context()
         futures = [
-            (worker, self._pool.submit(self._call, worker, path, body))
+            (worker, self._pool.submit(self._call, worker, path, body, ctx, request_id))
             for worker in live
         ]
-        results: List[Tuple[WorkerRef, Optional[Dict]]] = []
+        results: List[Tuple[WorkerRef, Optional[Dict], Dict]] = []
         for worker, future in futures:
+            leg: Dict = {"shard": worker.shard.index, "ok": True, "latency_ms": None}
             try:
-                results.append((worker, future.result()))
+                payload, leg_ms = future.result()
+                leg["latency_ms"] = round(leg_ms, 3)
+                results.append((worker, payload, leg))
             except Exception:
-                results.append((worker, None))
+                leg["ok"] = False
+                results.append((worker, None, leg))
         return results
 
+    def _adopt_spans(self, results: List[Tuple[WorkerRef, Optional[Dict], Dict]]) -> None:
+        """Stitch worker-returned span records into the router's tracer."""
+        if not tracing_enabled():
+            return
+        tracer = get_tracer()
+        for _, payload, _ in results:
+            if payload:
+                spans = payload.pop("spans", None)
+                if spans:
+                    tracer.adopt(spans)
+
     # ------------------------------------------------------------------
-    def ingest(self, body: Dict) -> Dict:
+    def ingest(
+        self,
+        body: Dict,
+        request_id: Optional[str] = None,
+        detail: Optional[Dict] = None,
+    ) -> Dict:
         """Fan an ingest body to all workers; journal it on success."""
         started = time.perf_counter()
         with span("router.ingest"):
-            results = self._scatter("/ingest", body)
+            results = self._scatter("/ingest", body, request_id=request_id)
         self._gather_latency.labels(route="/ingest").observe(
             time.perf_counter() - started
         )
-        ok = [r for _, r in results if r is not None]
+        ok = [r for _, r, _ in results if r is not None]
+        missing = [w.shard.as_dict() for w, r, _ in results if r is None]
+        if detail is not None:
+            detail["shards"] = [leg for _, _, leg in results]
+            if missing:
+                detail["partial"] = True
         if not ok:
             raise ServingError(503, "no worker accepted the ingest")
         self.journal.append(body)
         merged = dict(ok[0])
-        missing = [w.shard.as_dict() for w, r in results if r is None]
         if missing:
             merged["partial"] = True
             merged["missing_shards"] = missing
         return merged
 
-    def predict(self, queries: Sequence[Dict], default_top_k: int = 10) -> Dict:
-        """Scatter the query list, merge per-shard top-ks into global top-ks."""
+    def predict(
+        self,
+        queries: Sequence[Dict],
+        default_top_k: int = 10,
+        request_id: Optional[str] = None,
+        detail: Optional[Dict] = None,
+    ) -> Dict:
+        """Scatter the query list, merge per-shard top-ks into global top-ks.
+
+        ``detail`` (the handler's audit dict) receives the per-shard
+        latency breakdown; when tracing is on, workers return their
+        decode spans in the ``/decode`` payload and they are adopted
+        into the router's tracer here — one merged cross-process trace.
+        """
         body = {"queries": list(queries), "top_k": int(default_top_k)}
+        if tracing_enabled():
+            body["return_spans"] = True
         started = time.perf_counter()
         with span("router.predict", queries=len(queries)):
-            results = self._scatter("/decode", body)
-        answered = [(w, r) for w, r in results if r is not None]
-        missing = [w.shard.as_dict() for w, r in results if r is None]
+            results = self._scatter("/decode", body, request_id=request_id)
+            self._adopt_spans(results)
+        answered = [(w, r) for w, r, _ in results if r is not None]
+        missing = [w.shard.as_dict() for w, r, _ in results if r is None]
+        if detail is not None:
+            detail["shards"] = [leg for _, _, leg in results]
+            if missing:
+                detail["partial"] = True
         if not answered:
             raise ServingError(503, "no shard worker is reachable")
 
@@ -336,7 +410,12 @@ class RouterHandler(BaseJSONHandler):
         if "events" in body and "timestamp" not in body:
             raise BadRequest("'events' requires a 'timestamp'")
         try:
-            return self.router.ingest(body), 200
+            return (
+                self.router.ingest(
+                    body, request_id=self.request_id, detail=self.audit_detail
+                ),
+                200,
+            )
         except ServingError as exc:
             return {"error": str(exc)}, 503
 
@@ -362,7 +441,12 @@ class RouterHandler(BaseJSONHandler):
                 if not isinstance(q, dict) or "subject" not in q or "relation" not in q:
                     raise BadRequest("each query needs 'subject' and 'relation'")
         try:
-            response = self.router.predict(queries, default_top_k=int(body.get("top_k", 10)))
+            response = self.router.predict(
+                queries,
+                default_top_k=int(body.get("top_k", 10)),
+                request_id=self.request_id,
+                detail=self.audit_detail,
+            )
         except ServingError as exc:
             return {"error": str(exc)}, 503
         if single:
@@ -375,23 +459,56 @@ class RouterHandler(BaseJSONHandler):
 
 
 class RouterServer(DrainableHTTPServer):
-    """HTTP frontend owning a :class:`ClusterRouter`."""
+    """HTTP frontend owning a :class:`ClusterRouter`.
 
-    def __init__(self, address, router: ClusterRouter, verbose: bool = False):
+    The router's ``/metrics`` federates the cluster: a registered
+    collector (:class:`~repro.serving.federation.ClusterMetricsFederator`)
+    scrapes live workers on a TTL and re-exports aggregated
+    ``repro_cluster_*`` families next to the router's own series, so one
+    scrape describes the whole cluster.
+    """
+
+    def __init__(
+        self,
+        address,
+        router: ClusterRouter,
+        verbose: bool = False,
+        request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
+        metrics_ttl_s: float = 5.0,
+    ):
         super().__init__(address, RouterHandler)
         self.router = router
         self.registry = get_registry()
         self.stats = ServerStats(registry=self.registry)
+        self.audit = RequestAudit(request_log_entries) if request_log_entries else None
         self.verbose = verbose
         health_counter(self.registry)
+        self.federator = ClusterMetricsFederator(
+            router, self.registry, ttl_s=metrics_ttl_s
+        )
+        self._federation_collector = self.registry.register_collector(
+            self.federator.collect
+        )
 
     def server_close(self) -> None:
+        self.registry.unregister_collector(self._federation_collector)
         self.router.close()
         super().server_close()
 
 
 def create_router_server(
-    router: ClusterRouter, host: str = "127.0.0.1", port: int = 8420, verbose: bool = False
+    router: ClusterRouter,
+    host: str = "127.0.0.1",
+    port: int = 8420,
+    verbose: bool = False,
+    request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
+    metrics_ttl_s: float = 5.0,
 ) -> RouterServer:
     """Bind (but do not start) the router frontend; ``port=0`` auto-picks."""
-    return RouterServer((host, port), router, verbose=verbose)
+    return RouterServer(
+        (host, port),
+        router,
+        verbose=verbose,
+        request_log_entries=request_log_entries,
+        metrics_ttl_s=metrics_ttl_s,
+    )

@@ -36,21 +36,39 @@ instead of reinventing HTTP plumbing:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.obs.health import health_counter
+from repro.obs.logging import log_event
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import TraceContext, activate, span
 from repro.obs.runs import RunLedger, default_ledger_path
-from repro.obs.trace import span
+from repro.serving.audit import AUDIT_DEFAULT_CAPACITY, RequestAudit
 from repro.serving.engine import InferenceEngine
 from repro.serving.stats import ServerStats
 
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Structured access-log stream: one ``http.access`` event per request
+#: (request id, trace id, route, status, latency).  NullHandler by
+#: default — ``configure_logging()`` or any root handler surfaces it.
+ACCESS_LOGGER = logging.getLogger("repro.serving.access")
+ACCESS_LOGGER.addHandler(logging.NullHandler())
+
+REQUEST_ID_HEADER = "X-Request-Id"
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex request id (generated when the client sent none)."""
+    return uuid.uuid4().hex[:16]
 
 
 class BadRequest(ValueError):
@@ -193,20 +211,34 @@ class BaseJSONHandler(BaseHTTPRequestHandler):
         return body
 
     def _send_json(self, payload: Dict, status: int = 200) -> None:
+        # Every response carries the request's identity; errors and
+        # degraded (partial) replies embed it in the body too, so a
+        # client log line is enough to find the matching audit entry.
+        request_id = getattr(self, "request_id", None)
+        if request_id and isinstance(payload, dict):
+            if status >= 400 or payload.get("partial"):
+                payload.setdefault("request_id", request_id)
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if request_id:
+            self.send_header(REQUEST_ID_HEADER, request_id)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+        self._response_status = status
 
     def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
         data = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header(REQUEST_ID_HEADER, request_id)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+        self._response_status = status
 
     def routes(self) -> Dict[str, object]:
         """Route table: ``{"METHOD /path": handler}`` (override)."""
@@ -214,12 +246,32 @@ class BaseJSONHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _route(self, method: str) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        self.query = parse_qs(query) if query else {}
         name = f"{method} {path}"
+        # request identity: echo the caller's X-Request-Id / traceparent
+        # or mint fresh ones, so every hop of a request shares one
+        # (request_id, trace_id) pair even while tracing is disabled.
+        self.request_id = (self.headers.get(REQUEST_ID_HEADER) or "").strip() or new_request_id()
+        self.trace_ctx = TraceContext.extract(self.headers) or TraceContext.new()
+        self.audit_detail: Dict = {}
+        self._response_status = 200
         started = self.stats.timer()
+        wall_started = time.perf_counter()
         tracked = hasattr(self.server, "request_started")
         if tracked:
             self.server.request_started()
+        try:
+            with activate(self.trace_ctx):
+                self._dispatch(name, started)
+        finally:
+            latency_ms = (time.perf_counter() - wall_started) * 1e3
+            self._audit(name, latency_ms)
+            if tracked:
+                self.server.request_finished()
+
+    def _dispatch(self, name: str, started: float) -> None:
         try:
             if getattr(self.server, "draining", False) and name in self.drain_rejected:
                 self._send_json(
@@ -236,11 +288,15 @@ class BaseJSONHandler(BaseHTTPRequestHandler):
                     )
                 self.stats.record(name, started)
                 return
+            if name == "GET /debug/requests" and getattr(self.server, "audit", None) is not None:
+                self._send_json(self._debug_requests_payload())
+                self.stats.record(name, started)
+                return
             handler = self.routes().get(name)
             if handler is None:
                 self._send_json({"error": f"unknown route {name!r}"}, status=404)
                 return
-            with span("http.request", route=name):
+            with span("http.request", route=name, request_id=self.request_id):
                 payload, status = handler()
             self._send_json(payload, status=status)
             self.stats.record(name, started, error=status >= 400)
@@ -253,9 +309,41 @@ class BaseJSONHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json({"error": f"internal error: {exc}"}, status=500)
             self.stats.record(name, started, error=True)
-        finally:
-            if tracked:
-                self.server.request_finished()
+
+    def _debug_requests_payload(self) -> Dict:
+        slowest = None
+        raw = self.query.get("slowest", [None])[0]
+        if raw is not None:
+            try:
+                slowest = max(1, int(raw))
+            except ValueError:
+                raise BadRequest(f"'slowest' must be an integer, got {raw!r}")
+        return self.server.audit.snapshot(slowest=slowest)
+
+    def _audit(self, name: str, latency_ms: float) -> None:
+        """Record one audit-ring entry + access-log event per request."""
+        status = getattr(self, "_response_status", 200)
+        detail = getattr(self, "audit_detail", None) or {}
+        audit: Optional[RequestAudit] = getattr(self.server, "audit", None)
+        if audit is not None and name != "GET /debug/requests":
+            audit.record(
+                name,
+                status,
+                latency_ms,
+                request_id=self.request_id,
+                trace_id=self.trace_ctx.trace_id,
+                **detail,
+            )
+        log_event(
+            ACCESS_LOGGER,
+            "http.access",
+            request_id=self.request_id,
+            trace_id=self.trace_ctx.trace_id,
+            route=name,
+            status=status,
+            latency_ms=round(latency_ms, 3),
+            **{k: v for k, v in detail.items() if not isinstance(v, (list, dict))},
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         self._route("GET")
@@ -325,6 +413,7 @@ class ServingHandler(BaseJSONHandler):
             results = self.engine.predict_many(
                 queries, default_top_k=int(body.get("top_k", 10))
             )
+            self.audit_detail.update(self.engine.last_batch_info or {})
             return {"results": results}, 200
         if "subject" not in body or "relation" not in body:
             raise BadRequest("'subject' and 'relation' are required")
@@ -334,6 +423,7 @@ class ServingHandler(BaseJSONHandler):
             top_k=int(body.get("top_k", 10)),
             inverse=bool(body.get("inverse", False)),
         )
+        self.audit_detail.update(self.engine.last_batch_info or {})
         return (
             {
                 "subject": int(body["subject"]),
@@ -431,11 +521,18 @@ def _ledger_collector(registry: MetricsRegistry):
 class ServingServer(DrainableHTTPServer):
     """Drainable threading server carrying the engine + stats singletons."""
 
-    def __init__(self, address, engine: InferenceEngine, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        engine: InferenceEngine,
+        verbose: bool = False,
+        request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
+    ):
         super().__init__(address, ServingHandler)
         self.engine = engine
         self.registry = get_registry()
         self.stats = ServerStats(registry=self.registry)
+        self.audit = RequestAudit(request_log_entries) if request_log_entries else None
         self.verbose = verbose
         self._collector = self.registry.register_collector(
             _engine_collector(engine, self.registry)
@@ -458,9 +555,12 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 8420,
     verbose: bool = False,
+    request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
 ) -> ServingServer:
     """Bind (but do not start) a serving frontend; ``port=0`` auto-picks."""
-    return ServingServer((host, port), engine, verbose=verbose)
+    return ServingServer(
+        (host, port), engine, verbose=verbose, request_log_entries=request_log_entries
+    )
 
 
 def serve_in_thread(engine: InferenceEngine, host: str = "127.0.0.1", port: int = 0):

@@ -33,7 +33,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.execution import topk_ranked
 from repro.obs.metrics import get_registry
-from repro.obs.trace import span
+from repro.obs.trace import get_tracer, span, tracing_enabled
+from repro.serving.audit import AUDIT_DEFAULT_CAPACITY, RequestAudit
 from repro.serving.engine import InferenceEngine
 from repro.serving.server import (
     BadRequest,
@@ -216,31 +217,50 @@ class ShardWorkerHandler(BaseJSONHandler):
                 raise BadRequest("each query needs 'subject' and 'relation'")
         rows = self.engine.partial_topk(queries, default_top_k=int(body.get("top_k", 10)))
         shard = self.engine.shard
-        return (
-            {
-                "shard": shard.index,
-                "lo": shard.lo,
-                "hi": shard.hi,
-                "window_version": self.engine.store.window_version,
-                "results": rows,
-            },
-            200,
-        )
+        self.audit_detail.update(self.engine.last_batch_info or {})
+        payload = {
+            "shard": shard.index,
+            "lo": shard.lo,
+            "hi": shard.hi,
+            "window_version": self.engine.store.window_version,
+            "results": rows,
+        }
+        if body.get("return_spans") and tracing_enabled():
+            # Ship this request's spans (decode + the still-open
+            # http.request on this thread) back to the router, which
+            # adopts them into one merged cross-process trace.
+            payload["spans"] = get_tracer().export_trace(
+                self.trace_ctx.trace_id, process=f"worker-shard{shard.index}"
+            )
+        return payload, 200
 
 
 class ShardWorkerServer(DrainableHTTPServer):
     """HTTP frontend of one decode worker."""
 
-    def __init__(self, address, engine: ShardEngine, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        engine: ShardEngine,
+        verbose: bool = False,
+        request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
+    ):
         super().__init__(address, ShardWorkerHandler)
         self.engine = engine
         self.registry = get_registry()
         self.stats = ServerStats(registry=self.registry)
+        self.audit = RequestAudit(request_log_entries) if request_log_entries else None
         self.verbose = verbose
 
 
 def create_worker_server(
-    engine: ShardEngine, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    engine: ShardEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    request_log_entries: int = AUDIT_DEFAULT_CAPACITY,
 ) -> ShardWorkerServer:
     """Bind (but do not start) a shard worker; ``port=0`` auto-picks."""
-    return ShardWorkerServer((host, port), engine, verbose=verbose)
+    return ShardWorkerServer(
+        (host, port), engine, verbose=verbose, request_log_entries=request_log_entries
+    )

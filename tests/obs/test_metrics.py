@@ -208,3 +208,44 @@ class TestPrometheusRendering:
 
     def test_default_buckets_cover_latency_range(self):
         assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 10.0
+
+
+class TestParsePrometheusText:
+    def _render_parse(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", labelnames=("route",)).labels(
+            route='GET /a"b'
+        ).inc(3)
+        registry.gauge("temp", "temperature").set(-1.5)
+        registry.histogram("lat_seconds", "latency").observe(0.05)
+        return parse_prometheus_text(registry.render_prometheus())
+
+    def test_round_trips_own_rendering(self):
+        samples = self._render_parse()
+        by_name = {(s.name, tuple(sorted(s.labels.items()))): s for s in samples}
+        counter = by_name[("req_total", (("route", 'GET /a"b'),))]
+        assert counter.type == "counter" and counter.value == 3.0
+        gauge = by_name[("temp", ())]
+        assert gauge.type == "gauge" and gauge.value == -1.5
+
+    def test_histogram_suffixes_resolve_to_family_type(self):
+        samples = self._render_parse()
+        hist = [s for s in samples if s.name.startswith("lat_seconds")]
+        assert hist and all(s.type == "histogram" for s in hist)
+        infinity = [s for s in hist if s.labels.get("le") == "+Inf"]
+        assert infinity and infinity[0].value == 1.0
+
+    def test_malformed_lines_are_skipped(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        text = "\n".join([
+            "# HELP ok fine",
+            "# TYPE ok counter",
+            "ok 1",
+            "not a metric line !!!",
+            'dangling{unclosed="x 3',
+        ])
+        samples = parse_prometheus_text(text)
+        assert [(s.name, s.value, s.type) for s in samples] == [("ok", 1.0, "counter")]

@@ -35,6 +35,13 @@ def test_policy_for_uses_name_hints():
     assert policy_for("sampler_win_x") is THROUGHPUT_POLICY
     assert policy_for("sampler_speedup") is THROUGHPUT_POLICY
     assert policy_for("sampler_encode_seconds") is LOWER_BETTER_POLICY
+    # federated cluster families: counts are throughput-style, but any
+    # latency/seconds cluster series must stay lower-is-better
+    assert policy_for("repro_cluster_requests_total") is THROUGHPUT_POLICY
+    assert policy_for("repro_cluster_scrapes_total") is THROUGHPUT_POLICY
+    assert policy_for("repro_cluster_scatter_seconds") is LOWER_BETTER_POLICY
+    assert policy_for("cluster_request_latency_p99") is LOWER_BETTER_POLICY
+    assert policy_for("request_latency_mean") is LOWER_BETTER_POLICY
     override = MetricPolicy(higher_is_better=False, rel_tol=0.01)
     assert policy_for("mrr", {"mrr": override}) is override
 

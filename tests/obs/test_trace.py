@@ -46,13 +46,15 @@ class TestTracer:
             with tracer.span("inner"):
                 pass
         payload = json.loads(json.dumps(tracer.to_chrome_trace()))
-        events = payload["traceEvents"]
+        # metadata (ph="M" process_name) events precede the span events
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
         assert [e["name"] for e in events] == ["outer", "inner"]
         for e in events:
-            assert e["ph"] == "X"
             assert e["dur"] >= 0
         outer, inner = events
-        assert outer["args"] == {"epoch": 3}
+        assert outer["args"]["epoch"] == 3
+        assert outer["args"]["trace_id"] == inner["args"]["trace_id"]
+        assert inner["args"]["parent_span_id"] == outer["args"]["span_id"]
         # inner event fully inside outer on the µs timeline
         assert outer["ts"] <= inner["ts"]
         assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3

@@ -1,0 +1,196 @@
+"""Distributed tracing: context propagation, export/adopt, drop counter."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    yield
+    disable_tracing()
+
+
+class TestTraceContext:
+    def test_new_has_w3c_widths(self):
+        ctx = TraceContext.new()
+        assert len(ctx.trace_id) == 32 and int(ctx.trace_id, 16) >= 0
+        assert len(ctx.span_id) == 16 and int(ctx.span_id, 16) >= 0
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.new()
+        parsed = TraceContext.parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_inject_extract_round_trip(self):
+        ctx = TraceContext.new()
+        headers = ctx.inject({"Content-Type": "application/json"})
+        assert headers[TraceContext.HEADER] == ctx.to_traceparent()
+        assert TraceContext.extract(headers) == ctx
+
+    def test_extract_is_case_insensitive_on_dicts(self):
+        ctx = TraceContext.new()
+        assert TraceContext.extract({"Traceparent": ctx.to_traceparent()}) == ctx
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "not-a-traceparent",
+        "00-deadbeef-cafe-01",                       # wrong widths
+        "00-" + "g" * 32 + "-" + "a" * 16 + "-01",   # non-hex trace id
+        "00-" + "0" * 32 + "-" + "a" * 16 + "-01",   # all-zero trace id
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",   # all-zero span id
+    ])
+    def test_malformed_traceparent_rejected(self, header):
+        assert TraceContext.parse_traceparent(header) is None
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = TraceContext.new()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+
+
+class TestRemoteParent:
+    def test_root_span_continues_remote_trace(self):
+        tracer = Tracer()
+        ctx = TraceContext.new()
+        with tracer.activate(ctx):
+            with tracer.span("server.work") as record:
+                pass
+        assert record.trace_id == ctx.trace_id
+        assert record.parent_span_id == ctx.span_id
+
+    def test_fresh_trace_after_remote_context_exits(self):
+        tracer = Tracer()
+        ctx = TraceContext.new()
+        with tracer.activate(ctx):
+            pass
+        with tracer.span("later") as record:
+            pass
+        assert record.trace_id != ctx.trace_id
+        assert record.parent_span_id is None
+
+    def test_activate_none_is_noop(self):
+        tracer = Tracer()
+        with tracer.activate(None):
+            with tracer.span("work") as record:
+                pass
+        assert record.parent_span_id is None
+
+    def test_current_context_prefers_open_span(self):
+        tracer = Tracer()
+        ctx = TraceContext.new()
+        with tracer.activate(ctx):
+            assert tracer.current_context() == ctx
+            with tracer.span("work") as record:
+                inner = tracer.current_context()
+                assert inner.trace_id == ctx.trace_id
+                assert inner.span_id == record.span_id
+        assert tracer.current_context() is None
+
+    def test_global_helpers_work_while_disabled(self):
+        # request-id plumbing wants a coherent context even without --trace
+        ctx = TraceContext.new()
+        with activate(ctx):
+            assert current_context() == ctx
+        assert current_context() is None
+
+
+class TestExportAdopt:
+    def _worker_spans(self, ctx):
+        worker = Tracer()
+        with worker.activate(ctx):
+            with worker.span("http.request", route="POST /decode"):
+                with worker.span("shard.decode", queries=2):
+                    pass
+        return worker, worker.export_trace(ctx.trace_id, process="worker-shard0")
+
+    def test_export_carries_identity_and_process(self):
+        ctx = TraceContext.new()
+        _, exported = self._worker_spans(ctx)
+        assert [d["name"] for d in exported] == ["http.request", "shard.decode"]
+        for d in exported:
+            assert d["trace_id"] == ctx.trace_id
+            assert d["process"] == "worker-shard0"
+            assert d["end_epoch"] >= d["start_epoch"]
+        request, decode = exported
+        assert request["parent_span_id"] == ctx.span_id
+        assert decode["parent_span_id"] == request["span_id"]
+
+    def test_export_seals_open_spans_on_calling_thread(self):
+        tracer = Tracer()
+        ctx = TraceContext.new()
+        with tracer.activate(ctx):
+            with tracer.span("http.request"):
+                exported = tracer.export_trace(ctx.trace_id, process="w")
+        assert [d["name"] for d in exported] == ["http.request"]
+        assert exported[0]["end_epoch"] >= exported[0]["start_epoch"]
+
+    def test_adopt_stitches_one_cross_process_trace(self):
+        router = Tracer()
+        with router.span("router.predict") as parent:
+            ctx = router.current_context()
+            _, exported = self._worker_spans(ctx)
+            added = router.adopt(exported)
+        assert added == 2
+        spans = router.spans()
+        assert {s.trace_id for s in spans} == {parent.trace_id}
+        by_name = {s.name: s for s in spans}
+        assert by_name["http.request"].parent_span_id == parent.span_id
+        assert by_name["http.request"].process == "worker-shard0"
+        # adopted spans are re-anchored onto the adopting tracer's clock
+        assert by_name["shard.decode"].start >= 0
+
+    def test_adopt_dedups_shared_tracer_spans(self):
+        # in-process cluster: router and worker share one tracer, so the
+        # worker's exported spans come back span_id-identical — adopt
+        # must relabel, not duplicate.
+        tracer = Tracer()
+        with tracer.span("work") as record:
+            exported = tracer.export_trace(record.trace_id, process="worker-shard1")
+            assert tracer.adopt(exported) == 0
+        assert len(tracer.spans()) == 1
+        assert tracer.spans()[0].process == "worker-shard1"
+
+    def test_adopted_process_becomes_chrome_lane(self):
+        router = Tracer()
+        with router.span("router.predict"):
+            ctx = router.current_context()
+            _, exported = self._worker_spans(ctx)
+            router.adopt(exported)
+        payload = json.loads(json.dumps(router.to_chrome_trace()))
+        lanes = {e["args"]["name"] for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert "worker-shard0" in lanes
+        # the adopted spans render under a different display pid than
+        # the local ones even though both live in this test process
+        pid_of = {e["name"]: e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert pid_of["shard.decode"] != pid_of["router.predict"]
+
+
+class TestDroppedCounter:
+    def test_overflow_increments_registry_counter(self):
+        counter = get_registry().counter(
+            "repro_trace_spans_dropped_total",
+            "Tracer spans dropped because the max_spans ring was full.",
+        )
+        before = counter.value
+        tracer = Tracer(max_spans=1)
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped == 2
+        assert counter.value == before + 2
+        text = get_registry().render_prometheus()
+        assert "repro_trace_spans_dropped_total" in text
