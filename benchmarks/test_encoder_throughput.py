@@ -41,7 +41,7 @@ from repro.graphs import NeighborSampler
 from repro.nn import Adam
 from repro.nn.segment import SegmentLayout, segment_impl, segment_softmax, segment_sum
 from repro.nn.tensor import Tensor
-from repro.training import Evaluator, seed_everything
+from repro.training import TimelineEvaluator, seed_everything
 
 from benchmarks.conftest import emit_bench, print_table
 
@@ -64,7 +64,7 @@ def _walk_steps_per_second(impl, dataset, items, dim):
     )
     model = HisRES(dataset.num_entities, dataset.num_relations, config)
     optimizer = Adam(model.parameters(), lr=1e-3)
-    evaluator = Evaluator(dataset)
+    evaluator = TimelineEvaluator(dataset)
     builder = WindowBuilder(
         dataset.num_entities,
         dataset.num_relations,

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.data.dataset import TKGDataset
-from repro.training.evaluator import Evaluator, build_time_filter
+from repro.training.evaluator import TimelineEvaluator, build_time_filter
 from repro.training.metrics import filtered_ranks, mrr
 
 
@@ -34,7 +34,7 @@ def degradation_curve(
     Returns one row per test timestamp: ``{"step": k, "mrr": ...,
     "n": num_queries}`` where step counts from the test boundary.
     """
-    evaluator = Evaluator(dataset)
+    evaluator = TimelineEvaluator(dataset)
     window_builder.reset()
     for split in (dataset.train, dataset.valid):
         for _, quads in sorted(split.facts_by_time().items()):

@@ -19,7 +19,7 @@ import numpy as np
 from repro.data.dataset import TKGDataset
 from repro.data.profiles import DatasetProfile
 from repro.data.synthetic import SyntheticTKGGenerator
-from repro.training.evaluator import Evaluator, build_time_filter
+from repro.training.evaluator import TimelineEvaluator, build_time_filter
 from repro.training.metrics import filtered_ranks
 
 
@@ -87,7 +87,7 @@ def per_mechanism_metrics(
     as warmup exactly like the standard evaluator.
     """
     tagger = MechanismTagger(profile)
-    evaluator = Evaluator(dataset)
+    evaluator = TimelineEvaluator(dataset)
     window_builder.reset()
     for split in (dataset.train, dataset.valid):
         for _, quads in sorted(split.facts_by_time().items()):

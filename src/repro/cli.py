@@ -148,29 +148,49 @@ def cmd_eval(args) -> int:
     window_config = WindowConfig.from_dict(window, **overrides)
     builder = window_config.build(dataset.num_entities, dataset.num_relations)
     evaluator = TimelineEvaluator(dataset)
+    plan = evaluator.make_plan(model)
+    if getattr(args, "sampler", None):
+        from repro.core.execution import ScopedExecutionPlan
+        from repro.training.loader import SamplerConfig
+
+        sampler_config = SamplerConfig.parse(args.sampler)
+        plan = ScopedExecutionPlan(plan, sampler_config.build(owner="eval"))
     if args.split == "test":
         warmup, split = (dataset.train, dataset.valid), dataset.test
     else:
         warmup, split = (dataset.train,), dataset.valid
-    result = evaluator.evaluate_walk(model, builder, split, warmup_splits=warmup)
+    result = evaluator.evaluate_walk(
+        model, builder, split, warmup_splits=warmup, plan=plan
+    )
+    walk_stats = dict(evaluator.last_walk_stats)
     payload = {
         "model": meta.get("model_name", meta["model"]),
         "checkpoint": args.load_checkpoint,
         "dataset": dataset.name,
         "split": args.split,
+        "sampler": getattr(args, "sampler", None),
         "mrr": result.mrr * 100,
         "hits@1": result.hits(1) * 100,
         "hits@3": result.hits(3) * 100,
         "hits@10": result.hits(10) * 100,
+        **walk_stats,
     }
     ledger = _open_ledger(args)
     if ledger is not None:
+        metrics = {k: payload[k] for k in ("mrr", "hits@1", "hits@3", "hits@10")}
+        # batched-walk accounting rides along so `repro regress` can
+        # watch eval wall-clock and grouping efficiency over time
+        metrics.update(walk_stats)
         record = ledger.append(
             kind="eval",
             model=str(meta["model"]),
             dataset=dataset.name,
-            config={"split": args.split, "history_length": window_config.history_length},
-            metrics={k: payload[k] for k in ("mrr", "hits@1", "hits@3", "hits@10")},
+            config={
+                "split": args.split,
+                "history_length": window_config.history_length,
+                "sampler": getattr(args, "sampler", None),
+            },
+            metrics=metrics,
             extra={"checkpoint": args.load_checkpoint},
         )
         payload["run_id"] = record["run_id"]
@@ -746,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fallback window length for metadata-less checkpoints")
     p.add_argument("--graph-cache-entries", type=int, default=None, metavar="N",
                    help="WindowBuilder graph-cache LRU capacity override")
+    p.add_argument("--sampler", default=None, metavar="SPEC",
+                   help="sampled evaluation walk via the neighbor sampler, e.g. "
+                        "'fanout=8,4;seed=0' (exhaustive fanouts like 'fanout=full' "
+                        "reproduce the full walk bitwise)")
     _add_ledger_flags(p)
     p.set_defaults(func=cmd_eval)
 

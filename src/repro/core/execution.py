@@ -21,10 +21,17 @@ contract instead of a private detail of each model:
   scores.  The evaluator, forecaster, serving engine, and trainer all
   go through a plan; training losses still encode live under grad,
   while every no-grad consumer decodes from (possibly cached) states.
+- :class:`TimelineBatcher` — the batched evaluation layer above the
+  plans.  It scans a chronological (timestamp -> window) walk, groups
+  maximal runs of consecutive steps whose windows share a content
+  fingerprint, encodes once per group, and scores each group's
+  concatenated query block through one blocked range decode on the
+  global :data:`DECODE_TILE` grid — bitwise-identical (float64) to
+  the per-timestamp path, decode-call count divided by group size.
 
 See ``docs/execution_plane.md`` for the cache-keying rules, in
 particular why the globally relevant graph makes the fingerprint
-query-set-dependent.
+query-set-dependent, and for the batched-walk grouping invariants.
 """
 
 from __future__ import annotations
@@ -32,7 +39,18 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -390,11 +408,38 @@ class ExecutionPlan:
         if not hasattr(self.model, "encode"):  # legacy duck-typed models
             return np.asarray(self.model.predict_entities(window, queries))[:, lo:hi]
         state = self.encode(window)
+        return self.decode_block(state, queries, lo, hi)
+
+    def decode_block(
+        self, state: EncoderState, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Range-decode a (possibly multi-timestamp) query block from ``state``.
+
+        The grouped-decode surface: :class:`TimelineBatcher` concatenates
+        the query rows of every timestamp in a fingerprint-equal group
+        and scores the whole block here in one call.  Row ``i`` of the
+        result is bitwise-identical (float64) to decoding query ``i``
+        alone — the final candidate matmul is row-independent and walks
+        the global :data:`DECODE_TILE` grid (see
+        :func:`candidate_scores_range`), so blocking changes the call
+        count, never the numbers.
+        """
         with _inference(self.model):
             decode_range = getattr(self.model, "decode_entity_range", None)
             if decode_range is not None and not state.fused:
                 return np.asarray(decode_range(state, queries, lo, hi))
             return np.asarray(self.model.decode(state, queries).data)[:, lo:hi]
+
+    def decode_relations_block(
+        self, state: EncoderState, queries: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Relation logits for a grouped query block (None if undecodable)."""
+        decode_relations = getattr(self.model, "decode_relations", None)
+        if decode_relations is None:
+            return None
+        with _inference(self.model):
+            logits = decode_relations(state, queries)
+        return None if logits is None else np.asarray(logits.data)
 
     def relation_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
         """Relation score matrix (n, 2|R|) for joint models."""
@@ -564,11 +609,20 @@ class ScopedExecutionPlan:
         if not self.supports_scoping:
             return self.plan.entity_scores_range(window, queries, lo, hi)
         state = self.encode(window, queries)
-        with _inference(self.model):
-            decode_range = getattr(self.model, "decode_entity_range", None)
-            if decode_range is not None and not state.fused:
-                return np.asarray(decode_range(state, queries, lo, hi))
-            return np.asarray(self.model.decode(state, queries).data)[:, lo:hi]
+        return self.plan.decode_block(state, queries, lo, hi)
+
+    def decode_block(
+        self, state: EncoderState, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Grouped-block decode; scoped states are already scattered to
+        full entity space by :meth:`encode`, so the wrapped plan's block
+        decode applies unchanged."""
+        return self.plan.decode_block(state, queries, lo, hi)
+
+    def decode_relations_block(
+        self, state: EncoderState, queries: np.ndarray
+    ) -> Optional[np.ndarray]:
+        return self.plan.decode_relations_block(state, queries)
 
     def relation_scores(self, window: HistoryWindow, queries: np.ndarray) -> np.ndarray:
         if not self.supports_scoping:
@@ -607,3 +661,196 @@ class ScopedExecutionPlan:
             "scoped_encodes": self.scoped_encodes,
             "sampler": self.sampler.stats() if hasattr(self.sampler, "stats") else None,
         }
+
+
+# ----------------------------------------------------------------------
+# Batched timeline evaluation
+
+
+@dataclass(frozen=True)
+class TimelineStep:
+    """One scoring point of a chronological walk.
+
+    Attributes:
+        timestamp: the prediction timestamp this step scores at.
+        window: the history window assembled for the step (immutable —
+            producers may keep absorbing history after yielding it).
+        queries: (n, >=2) int64 query rows; relation ids may use the
+            doubled space for inverse queries.
+        payload: opaque caller context carried through the batcher
+            (e.g. the evaluator's per-timestamp time filter).
+    """
+
+    timestamp: int
+    window: HistoryWindow
+    queries: np.ndarray
+    payload: Any = None
+
+
+def group_steps(
+    steps: Iterable[TimelineStep], groupable: bool = True
+) -> Iterator[List[TimelineStep]]:
+    """Yield **maximal** runs of consecutive fingerprint-equal steps.
+
+    Two invariants (property-tested in
+    ``tests/core/test_timeline_batcher.py``):
+
+    - every step in a group has the same window content fingerprint as
+      the group's first step — a group never spans a window change;
+    - groups are maximal: adjacent groups always differ in fingerprint,
+      so no two neighbouring groups could have been merged.
+
+    With ``groupable=False`` every step becomes its own group (fused
+    models, whose decode consumes per-query window inputs, and legacy
+    duck-typed models take this path so their behaviour is untouched).
+    """
+    current: List[TimelineStep] = []
+    current_fp: Optional[Hashable] = None
+    for step in steps:
+        fingerprint = step.window.fingerprint() if groupable else None
+        if current and (not groupable or fingerprint != current_fp):
+            yield current
+            current = []
+        current.append(step)
+        current_fp = fingerprint
+    if current:
+        yield current
+
+
+class TimelineBatcher:
+    """Fingerprint-grouped blocked decode over a timeline walk.
+
+    The batched evaluation layer every timeline consumer (the
+    :class:`~repro.training.evaluator.TimelineEvaluator`, the
+    :class:`~repro.core.forecaster.Forecaster`, the serving engine's
+    warm/refresh path) routes through: steps are grouped by
+    :func:`group_steps`, each group is encoded **once** through the
+    plan's state cache, and the group's concatenated query block is
+    scored by one :meth:`ExecutionPlan.decode_block` call on the global
+    tile grid.  Per-step score rows are sliced back out, so consumers
+    see exactly the per-timestamp stream they always saw — bitwise —
+    with the decode call count divided by the group size.
+
+    Args:
+        plan: an :class:`ExecutionPlan` or :class:`ScopedExecutionPlan`
+            (detected by its ``supports_scoping`` attribute; scoped
+            plans encode on the group block's sampled fan-in closure).
+        num_entities: default candidate-range upper bound for
+            :meth:`run` (callers may override per run via ``hi``).
+        owner: obs label for the group counter/size histogram/spans.
+    """
+
+    def __init__(self, plan, num_entities: Optional[int] = None, owner: str = "evaluator"):
+        self.plan = plan
+        self.base_plan: ExecutionPlan = getattr(plan, "plan", plan)
+        self._scoped = self.base_plan is not plan
+        self.num_entities = num_entities
+        self.owner = owner
+        registry = get_registry()
+        self._groups_total = registry.counter(
+            "repro_eval_groups_total",
+            "Fingerprint-equal timeline groups scored by the batched walk.",
+            labelnames=("owner",),
+        ).labels(owner=owner)
+        self._group_size = registry.histogram(
+            "repro_eval_group_size",
+            "Timestamps per fingerprint-equal timeline group.",
+            labelnames=("owner",),
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        ).labels(owner=owner)
+        self.last_stats: Dict[str, Any] = {}
+
+    @property
+    def model(self):
+        return self.base_plan.model
+
+    @property
+    def groupable(self) -> bool:
+        """Only split models group: their frozen states decode any
+        query block, while fused/legacy decodes stay per-step."""
+        return self.base_plan.supports_split
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        steps: Iterable[TimelineStep],
+        entities: bool = True,
+        relations: bool = False,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> Iterator[Tuple[TimelineStep, Optional[np.ndarray], Optional[np.ndarray]]]:
+        """Score a walk; yield ``(step, entity_rows, relation_rows)`` in order.
+
+        ``steps`` may be a generator that interleaves window assembly
+        with history absorption — the batcher looks ahead at most one
+        step, and windows are immutable, so producers can absorb freely
+        after yielding.  Entity rows cover candidates ``[lo, hi)``
+        (``hi`` defaults to ``num_entities``); relation rows are None
+        when the model has no relation decoder.  After the iterator is
+        exhausted :attr:`last_stats` holds the group accounting.
+        """
+        lo = int(lo)
+        hi = self.num_entities if hi is None else int(hi)
+        stats = {"steps": 0, "groups": 0, "queries": 0, "max_group_size": 0}
+        self.last_stats = stats
+        for group in group_steps(steps, groupable=self.groupable):
+            size = len(group)
+            stats["groups"] += 1
+            stats["steps"] += size
+            stats["max_group_size"] = max(stats["max_group_size"], size)
+            self._groups_total.inc()
+            self._group_size.observe(float(size))
+            for step, entity_rows, relation_rows in self._score_group(
+                group, entities, relations, lo, hi
+            ):
+                stats["queries"] += int(len(step.queries))
+                yield step, entity_rows, relation_rows
+        stats["mean_group_size"] = (
+            stats["steps"] / stats["groups"] if stats["groups"] else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def _score_group(
+        self,
+        group: List[TimelineStep],
+        entities: bool,
+        relations: bool,
+        lo: int,
+        hi: Optional[int],
+    ) -> Iterator[Tuple[TimelineStep, Optional[np.ndarray], Optional[np.ndarray]]]:
+        model = self.model
+        if not hasattr(model, "encode"):
+            # legacy duck-typed models: fused per-step scoring, original path
+            for step in group:
+                entity_rows = None
+                if entities:
+                    scores = self.base_plan.entity_scores(step.window, step.queries)
+                    entity_rows = scores if hi is None else scores[:, lo:hi]
+                yield step, entity_rows, None
+            return
+        if hi is None:
+            raise ValueError("TimelineBatcher needs num_entities (or an explicit hi)")
+        window = group[0].window
+        blocks = [np.asarray(step.queries, dtype=np.int64) for step in group]
+        block = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+        with span("eval.encode", owner=self.owner, group_size=len(group)):
+            if self._scoped:
+                state = self.plan.encode(window, block)
+            else:
+                state = self.plan.encode(window)
+        with span("eval.decode", owner=self.owner, rows=int(block.shape[0])):
+            entity_block = (
+                self.base_plan.decode_block(state, block, lo, hi) if entities else None
+            )
+            relation_block = (
+                self.base_plan.decode_relations_block(state, block) if relations else None
+            )
+        offset = 0
+        for step, rows in zip(group, blocks):
+            n = len(rows)
+            entity_rows = None if entity_block is None else entity_block[offset : offset + n]
+            relation_rows = (
+                None if relation_block is None else relation_block[offset : offset + n]
+            )
+            offset += n
+            yield step, entity_rows, relation_rows

@@ -15,12 +15,17 @@ snapshots in order, and exposes checkpointing of the underlying model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import WindowConfig
-from repro.core.execution import EncoderStateCache, ExecutionPlan
+from repro.core.execution import (
+    EncoderStateCache,
+    ExecutionPlan,
+    TimelineBatcher,
+    TimelineStep,
+)
 from repro.core.window import WindowBuilder
 from repro.data.dataset import SplitView
 from repro.nn.serialization import load_checkpoint, save_checkpoint
@@ -82,6 +87,7 @@ class Forecaster:
         )
         self.plan = ExecutionPlan(model, cache=cache)
         self._now: Optional[int] = None
+        self.last_timeline_stats: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -126,6 +132,17 @@ class Forecaster:
         self._now = t
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_queries(queries: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] < 2:
+            raise ValueError("queries must be (n, >=2) of (subject, relation, ...)")
+        if queries.shape[1] < 3:
+            padded = np.zeros((len(queries), 4), dtype=np.int64)
+            padded[:, :2] = queries[:, :2]
+            queries = padded
+        return queries
+
     def predict_batch(
         self, queries: np.ndarray, prediction_time: Optional[int] = None
     ) -> np.ndarray:
@@ -139,17 +156,53 @@ class Forecaster:
         Returns:
             (n, num_entities) score matrix.
         """
-        queries = np.asarray(queries, dtype=np.int64)
-        if queries.ndim != 2 or queries.shape[1] < 2:
-            raise ValueError("queries must be (n, >=2) of (subject, relation, ...)")
-        if queries.shape[1] < 3:
-            padded = np.zeros((len(queries), 4), dtype=np.int64)
-            padded[:, :2] = queries[:, :2]
-            queries = padded
+        queries = self._normalize_queries(queries)
         if prediction_time is None:
             prediction_time = (self._now + 1) if self._now is not None else 0
         window = self._builder.window_for(queries, prediction_time=int(prediction_time))
         return self.plan.entity_scores(window, queries)
+
+    def predict_timeline(self, requests: Iterable[Tuple]) -> List[np.ndarray]:
+        """Score a chronological sequence of query batches in one batched walk.
+
+        The backtesting/replay shape: between observations the rolling
+        window does not move, so consecutive requests share a window
+        fingerprint and the :class:`~repro.core.execution.TimelineBatcher`
+        scores them as one blocked decode per group instead of one
+        forward pass per request.
+
+        Args:
+            requests: iterable of ``(queries, prediction_time)`` or
+                ``(queries, prediction_time, observe_quads)`` tuples in
+                non-decreasing time order; when ``observe_quads`` is
+                given they are absorbed *after* that step is assembled
+                (the step still sees only the past).
+        Returns:
+            one ``(n_i, num_entities)`` score matrix per request, in
+            order.  :attr:`last_timeline_stats` holds the group
+            accounting of the walk.
+        """
+
+        def steps():
+            for request in requests:
+                queries, prediction_time = request[0], request[1]
+                observe_quads = request[2] if len(request) > 2 else None
+                queries = self._normalize_queries(queries)
+                if prediction_time is None:
+                    prediction_time = (self._now + 1) if self._now is not None else 0
+                window = self._builder.window_for(
+                    queries, prediction_time=int(prediction_time)
+                )
+                yield TimelineStep(int(prediction_time), window, queries)
+                if observe_quads is not None and len(observe_quads):
+                    self.observe(observe_quads, timestamp=int(prediction_time))
+
+        batcher = TimelineBatcher(
+            self.plan, num_entities=self.num_entities, owner="forecaster"
+        )
+        scores = [entity for _, entity, _ in batcher.run(steps(), entities=True)]
+        self.last_timeline_stats = dict(batcher.last_stats)
+        return scores
 
     def predict(
         self,

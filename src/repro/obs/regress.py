@@ -70,6 +70,10 @@ _THROUGHPUT_HINTS = (
     # load, so treat them as loose (30%) higher-is-better series; any
     # *latency*/*seconds* cluster series matched LOWER_BETTER above
     "cluster_", "scrape",
+    # batched-walk accounting (eval_groups, eval_mean_group_size,
+    # eval_queries): bigger groups mean fewer decode calls, so up is
+    # good; eval_wall_seconds already matched LOWER_BETTER on "seconds"
+    "eval_",
 )
 
 QUALITY_POLICY = MetricPolicy(higher_is_better=True, rel_tol=0.05, abs_tol=0.25)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,8 @@ from repro.core.execution import (
     EncoderStateCache,
     ExecutionPlan,
     ScopedExecutionPlan,
+    TimelineBatcher,
+    TimelineStep,
     topk_ranked,
 )
 from repro.graphs.sampler import NeighborSampler
@@ -183,6 +186,18 @@ class InferenceEngine:
             # so the cold-miss branch never triggers for them
             if candidate.supports_scoping and self.state_cache is not None:
                 self.scoped_plan = candidate
+        # all decodes (request path, warm refresh, hot-pair refresh) run
+        # through the batched timeline plane so serving shares the
+        # evaluator's blocked tile-grid decode and its observability
+        self._timeline = TimelineBatcher(self.plan, owner="serving")
+        self._scoped_timeline = (
+            TimelineBatcher(self.scoped_plan, owner="serving.scoped")
+            if self.scoped_plan is not None
+            else None
+        )
+        # recency ring of distinct (s, r) pairs for refresh_hot_pairs
+        self._hot_pairs: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self._hot_pairs_cap = 1024
         encode_family = get_registry().counter(
             "repro_engine_encode_total",
             "Engine decode executions by encode mode (full vs scoped cold-miss).",
@@ -311,6 +326,12 @@ class InferenceEngine:
                 results[pair] = scores
             else:
                 todo.append(pair)
+        with self._warm_lock:
+            for pair in dict.fromkeys(pairs):
+                self._hot_pairs[pair] = None
+                self._hot_pairs.move_to_end(pair)
+            while len(self._hot_pairs) > self._hot_pairs_cap:
+                self._hot_pairs.popitem(last=False)
         if todo:
             queries = np.zeros((len(todo), 4), dtype=np.int64)
             for i, (s, r) in enumerate(todo):
@@ -325,16 +346,11 @@ class InferenceEngine:
                         self.scoped_plan is not None
                         and self.state_cache.peek(self.model, window, self.model_key) is None
                     )
-                    if scoped:
-                        # cold miss: answer from the sampled fan-in
-                        # closure now, warm the full encode off-path
-                        scores = np.asarray(
-                            self.scoped_plan.entity_scores_range(window, queries, lo, hi)
-                        )
-                    else:
-                        scores = np.asarray(
-                            self.plan.entity_scores_range(window, queries, lo, hi)
-                        )
+                    # cold miss: answer from the sampled fan-in closure
+                    # now, warm the full encode off-path; either way the
+                    # decode runs on the batched timeline plane
+                    batcher = self._scoped_timeline if scoped else self._timeline
+                    scores = self._blocked_scores(batcher, window, queries, lo, hi)
                     self._predict_calls += 1
             mode = "scoped" if scoped else "full"
             self._encode_counters[mode].inc()
@@ -352,7 +368,7 @@ class InferenceEngine:
                     # warmed full encode serves exact scores next time
                     self.cache.put(self._cache_key(pair, version), scores[i])
             if scoped:
-                self._spawn_warmup(window)
+                self._spawn_warmup(window, pairs=todo, version=version)
         else:
             self.last_batch_info = {
                 "encode_mode": "cached",
@@ -362,8 +378,46 @@ class InferenceEngine:
         return results
 
     # ------------------------------------------------------------------
-    def _spawn_warmup(self, window) -> None:
-        """Single-flight background full encode for a scoped cold miss."""
+    def _blocked_scores(
+        self, batcher: TimelineBatcher, window, queries: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """One-step timeline walk: serving decodes through the same
+        blocked tile-grid plane as the evaluator, so sharded and
+        single-process scores stay bitwise sub-arrays of each other."""
+        step = TimelineStep(int(window.prediction_time), window, queries)
+        for _, rows, _ in batcher.run([step], entities=True, lo=lo, hi=hi):
+            return np.asarray(rows)
+        raise RuntimeError("timeline batcher yielded no rows")
+
+    def _refresh_pairs(self, window, pairs: List[Tuple[int, int]], version: int) -> int:
+        """Pre-score ``pairs`` against ``window`` into the prediction cache."""
+        if not pairs:
+            return 0
+        queries = np.zeros((len(pairs), 4), dtype=np.int64)
+        for i, (s, r) in enumerate(pairs):
+            queries[i, 0] = s
+            queries[i, 1] = r
+        lo, hi = self._score_range()
+        with span("engine.refresh_pairs", pairs=len(pairs)):
+            with self._model_lock:
+                scores = self._blocked_scores(self._timeline, window, queries, lo, hi)
+        for i, pair in enumerate(pairs):
+            self.cache.put(self._cache_key(pair, version), scores[i])
+        return len(pairs)
+
+    def _spawn_warmup(
+        self,
+        window,
+        pairs: Sequence[Tuple[int, int]] = (),
+        version: Optional[int] = None,
+    ) -> None:
+        """Single-flight background full encode for a scoped cold miss.
+
+        After the warm encode lands, the pairs that triggered the miss
+        are re-scored from the warmed state through the batched timeline
+        plane and written to the prediction cache — the next request for
+        them serves exact scores without paying a decode.
+        """
         fingerprint = window.fingerprint()
         with self._warm_lock:
             if fingerprint in self._warming:
@@ -375,6 +429,8 @@ class InferenceEngine:
                 with span("engine.warm_encode", owner=self.model_key):
                     with self._model_lock:
                         self.plan.encode(window)
+                if pairs and version is not None and self.store.window_version == version:
+                    self._refresh_pairs(window, list(pairs), version)
             finally:
                 with self._warm_lock:
                     self._warming.discard(fingerprint)
@@ -409,6 +465,29 @@ class InferenceEngine:
                 "reloaded": path,
                 "model_version": getattr(self.model, "version", 0),
             }
+
+    def refresh_hot_pairs(self, limit: int = 256) -> Dict[str, object]:
+        """Pre-score the most recently requested (s, r) pairs.
+
+        One blocked decode through the batched timeline plane refills
+        the prediction cache against the *current* window — the warm
+        path to call after :meth:`reload_weights` or a snapshot
+        rollover, so the next wave of requests for hot pairs is served
+        from cache instead of paying per-request decodes.
+        """
+        with self._warm_lock:
+            pairs = list(self._hot_pairs)[-max(0, int(limit)):]
+        if not pairs:
+            return {"refreshed": 0}
+        version = self.store.window_version
+        probe = np.zeros((len(pairs), 4), dtype=np.int64)
+        for i, (s, r) in enumerate(pairs):
+            probe[i, 0] = s
+            probe[i, 1] = r
+        with self._model_lock:
+            window = self.store.window_for(probe)
+        refreshed = self._refresh_pairs(window, pairs, version)
+        return {"refreshed": refreshed, "window_version": version}
 
     def _checked_pair(self, subject: int, relation: int, inverse: bool) -> Tuple[int, int]:
         """Validate and map to the doubled relation space."""
@@ -488,4 +567,5 @@ class InferenceEngine:
             "store": self.store.stats(),
             "encode_modes": dict(self._encode_mode_counts),
             "scoped_cold_start": None if self.scoped_plan is None else self.scoped_plan.stats(),
+            "hot_pairs_tracked": len(self._hot_pairs),
         }

@@ -233,10 +233,25 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def evaluate(
-        self, split: str = "valid", max_timestamps: Optional[int] = None
+        self,
+        split: str = "valid",
+        max_timestamps: Optional[int] = None,
+        sampled: bool = False,
     ) -> RankingResult:
-        """Time-filtered metrics on 'valid' or 'test'."""
+        """Time-filtered metrics on 'valid' or 'test'.
+
+        ``sampled=True`` routes the evaluation walk through the
+        trainer's :class:`~repro.core.execution.ScopedExecutionPlan`
+        (requires a ``sampler=`` config): windows encode on sampled
+        fan-in closures, with exhaustive fanouts reproducing the
+        full-plan walk bitwise.
+        """
         self.model.eval()
+        plan = self.plan
+        if sampled:
+            if self.scoped_plan is None:
+                raise ValueError("sampled evaluation needs a sampler= trainer config")
+            plan = self.scoped_plan
         if split == "valid":
             warmup = (self.dataset.train,)
             eval_split = self.dataset.valid
@@ -254,7 +269,7 @@ class Trainer:
             eval_split,
             warmup_splits=warmup,
             max_timestamps=max_timestamps,
-            plan=self.plan,
+            plan=plan,
         )
 
     # ------------------------------------------------------------------

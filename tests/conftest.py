@@ -65,9 +65,15 @@ def check_gradients(fn, *arrays, tol=1e-4):
     tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in arrays]
     loss = scalar_fn(*tensors)
     loss.backward()
+    # Central differences lose ~ulp(|loss|)/(2*eps) to cancellation, so a
+    # fixed atol is below the noise floor once the loss gets large (e.g.
+    # exp-heavy functions); widen atol to the round-off floor.
+    eps = 1e-6
+    noise_floor = 4.0 * np.spacing(abs(float(loss.item()))) / (2.0 * eps)
+    atol = max(tol, noise_floor)
     for i, tensor in enumerate(tensors):
-        expected = numeric_gradient(scalar_fn, tensors, i)
+        expected = numeric_gradient(scalar_fn, tensors, i, eps=eps)
         assert tensor.grad is not None, f"input {i} got no gradient"
         np.testing.assert_allclose(
-            tensor.grad, expected, atol=tol, rtol=tol, err_msg=f"gradient mismatch on input {i}"
+            tensor.grad, expected, atol=atol, rtol=tol, err_msg=f"gradient mismatch on input {i}"
         )

@@ -21,7 +21,7 @@ from repro.graphs.compiled import (
     reset_compiled_cache_stats,
 )
 from repro.nn.segment import segment_impl
-from repro.training import Evaluator, seed_everything
+from repro.training import TimelineEvaluator, seed_everything
 
 
 def _graph(rng, num_entities=9, num_relations=3, n=12):
@@ -190,7 +190,7 @@ class TestMetricParity:
         seed_everything(1234)
         model = HisRES(dataset.num_entities, dataset.num_relations, config)
         model.eval()
-        evaluator = Evaluator(dataset)
+        evaluator = TimelineEvaluator(dataset)
 
         results = {}
         for impl in ("reference", "fused"):

@@ -26,7 +26,7 @@ from repro.core.execution import (
     make_fused_state,
 )
 from repro.core.window import WindowBuilder
-from repro.training import TimelineEvaluator, Evaluator
+from repro.training import TimelineEvaluator
 
 E, R = 24, 5
 
@@ -421,8 +421,16 @@ class TestExecutionPlanContracts:
         assert plan.cache.misses == 0  # the loss path never touches the cache
         assert any(p.grad is not None for p in model.parameters())
 
-    def test_evaluator_alias_preserved(self):
-        assert Evaluator is TimelineEvaluator
+    def test_evaluator_alias_deprecated(self):
+        import repro.training
+        import repro.training.evaluator as evaluator_module
+
+        with pytest.warns(DeprecationWarning, match="TimelineEvaluator"):
+            alias = evaluator_module.Evaluator
+        assert alias is TimelineEvaluator
+        with pytest.warns(DeprecationWarning, match="TimelineEvaluator"):
+            alias = repro.training.Evaluator
+        assert alias is TimelineEvaluator
 
 
 class TestWindowConfig:

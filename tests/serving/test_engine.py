@@ -216,3 +216,49 @@ class TestMicroBatcher:
         # the batcher recovers for the next submit
         with pytest.raises(RuntimeError, match="boom"):
             batcher.submit((1, 1))
+
+
+class TestHotPairRefresh:
+    def test_refresh_refills_cache_for_hot_pairs(self, tmp_path, tiny_dataset):
+        _, path = _checkpoint(tmp_path)
+        engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)
+        engine.store.warm_up(tiny_dataset.train)
+        expected = {(s, r): engine.scores_for(s, r) for s in range(3) for r in range(2)}
+        assert engine.stats()["hot_pairs_tracked"] == 6
+        t = engine.store.current_time + 1
+        engine.ingest([[0, 1, 2]], timestamp=t)
+        engine.flush()  # rollover: every cached score is now stale
+        outcome = engine.refresh_hot_pairs()
+        assert outcome["refreshed"] == 6
+        assert outcome["window_version"] == engine.store.window_version
+        # the refreshed entries serve without another predict call
+        calls = engine.stats()["predict_calls"]
+        fresh = {(s, r): engine.scores_for(s, r) for s in range(3) for r in range(2)}
+        assert engine.stats()["predict_calls"] == calls
+        # and they are the scores the cold path would compute
+        for (s, r), scores in fresh.items():
+            window = engine.store.window_for(
+                np.array([[s, r, 0, 0]], dtype=np.int64)
+            )
+            cold = np.asarray(engine.model.predict_entities(
+                window, np.array([[s, r, 0, 0]], dtype=np.int64)
+            ))[0]
+            np.testing.assert_allclose(scores, cold, rtol=1e-12)
+        assert any(np.any(fresh[p] != expected[p]) for p in fresh)
+
+    def test_refresh_with_no_traffic_is_a_noop(self, tmp_path, tiny_dataset):
+        _, path = _checkpoint(tmp_path)
+        engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)
+        engine.store.warm_up(tiny_dataset.train)
+        assert engine.refresh_hot_pairs() == {"refreshed": 0}
+
+    def test_hot_ring_is_bounded(self, tmp_path, tiny_dataset):
+        _, path = _checkpoint(tmp_path)
+        engine = InferenceEngine.from_checkpoint(path, batch_window_s=0.0)
+        engine.store.warm_up(tiny_dataset.train)
+        engine._hot_pairs_cap = 4
+        for s in range(8):
+            engine.scores_for(s, 0)
+        assert engine.stats()["hot_pairs_tracked"] == 4
+        # oldest pairs evicted, newest retained
+        assert list(engine._hot_pairs) == [(4, 0), (5, 0), (6, 0), (7, 0)]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import HisRES, HisRESConfig
 from repro.core.window import WindowBuilder
-from repro.training import Evaluator, Trainer
+from repro.training import TimelineEvaluator, Trainer
 
 
 @pytest.fixture
@@ -20,7 +20,7 @@ def trained(tiny_dataset):
 class TestTwoPhase:
     def test_two_phase_same_query_count(self, tiny_dataset, trained):
         model, trainer = trained
-        evaluator = Evaluator(tiny_dataset)
+        evaluator = TimelineEvaluator(tiny_dataset)
         single = evaluator.evaluate_walk(
             model, trainer.window_builder, tiny_dataset.test,
             warmup_splits=(tiny_dataset.train, tiny_dataset.valid),
@@ -36,7 +36,7 @@ class TestTwoPhase:
         """The phases see per-phase global graphs; metrics should agree
         within a loose band on tiny data."""
         model, trainer = trained
-        evaluator = Evaluator(tiny_dataset)
+        evaluator = TimelineEvaluator(tiny_dataset)
         single = evaluator.evaluate_walk(
             model, trainer.window_builder, tiny_dataset.test,
             warmup_splits=(tiny_dataset.train, tiny_dataset.valid),
@@ -52,7 +52,7 @@ class TestTwoPhase:
 class TestRelationEvaluation:
     def test_relation_metrics_bounds(self, tiny_dataset, trained):
         model, trainer = trained
-        evaluator = Evaluator(tiny_dataset)
+        evaluator = TimelineEvaluator(tiny_dataset)
         result = evaluator.evaluate_relations(
             model, trainer.window_builder, tiny_dataset.test,
             warmup_splits=(tiny_dataset.train, tiny_dataset.valid),
@@ -68,7 +68,7 @@ class TestRelationEvaluation:
         trainer = Trainer(model, tiny_dataset, history_length=2,
                           learning_rate=0.01, seed=1)
         trainer.fit(epochs=5, patience=5)
-        evaluator = Evaluator(tiny_dataset)
+        evaluator = TimelineEvaluator(tiny_dataset)
         result = evaluator.evaluate_relations(
             model, trainer.window_builder, tiny_dataset.test,
             warmup_splits=(tiny_dataset.train, tiny_dataset.valid),

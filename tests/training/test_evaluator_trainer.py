@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import DistMult, build_model
 from repro.core import HisRES, HisRESConfig
-from repro.training import Evaluator, Trainer, build_time_filter, seed_everything
+from repro.training import TimelineEvaluator, Trainer, build_time_filter, seed_everything
 from repro.core.window import WindowBuilder
 
 
@@ -24,7 +24,7 @@ class TestBuildTimeFilter:
 
 class TestEvaluator:
     def test_queries_with_inverse_doubles(self, tiny_dataset):
-        ev = Evaluator(tiny_dataset)
+        ev = TimelineEvaluator(tiny_dataset)
         quads = tiny_dataset.test.quads[:5]
         doubled = ev.queries_with_inverse(quads)
         assert len(doubled) == 10
@@ -32,7 +32,7 @@ class TestEvaluator:
 
     def test_evaluate_walk_counts_queries(self, tiny_dataset):
         model = DistMult(tiny_dataset.num_entities, tiny_dataset.num_relations, dim=8)
-        ev = Evaluator(tiny_dataset)
+        ev = TimelineEvaluator(tiny_dataset)
         wb = WindowBuilder(tiny_dataset.num_entities, tiny_dataset.num_relations,
                            history_length=2, use_global=False)
         res = ev.evaluate_walk(model, wb, tiny_dataset.test,
@@ -41,7 +41,7 @@ class TestEvaluator:
 
     def test_max_timestamps_caps_work(self, tiny_dataset):
         model = DistMult(tiny_dataset.num_entities, tiny_dataset.num_relations, dim=8)
-        ev = Evaluator(tiny_dataset)
+        ev = TimelineEvaluator(tiny_dataset)
         wb = WindowBuilder(tiny_dataset.num_entities, tiny_dataset.num_relations,
                            history_length=2, use_global=False)
         res = ev.evaluate_walk(model, wb, tiny_dataset.test, max_timestamps=1)
